@@ -1,0 +1,235 @@
+// Command pdrbench regenerates the PDR paper's evaluation: every table and
+// figure of Sec. 7 plus the ablations called out in DESIGN.md.
+//
+// Usage:
+//
+//	pdrbench [-exp all] [-n 100000] [-queries 5] [-warm 20] [-seed 1] [-sizes 10000,50000,100000]
+//
+// Experiments: table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b,
+// fig10a, fig10b, ablations, all. Absolute numbers depend on the host; the
+// paper's shapes (who wins, by what factor) are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pdr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, baselines, ablations, all)")
+		n       = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
+		queries = flag.Int("queries", 5, "queries per parameter point")
+		warm    = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		sizes   = flag.String("sizes", "10000,50000,100000", "dataset sizes for fig10b")
+		format  = flag.String("format", "table", "output format for figure data: table or csv")
+		svgDir  = flag.String("svgdir", "", "when set, fig7 also renders SVG plots into this directory")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.N = *n
+	p.QueriesPerPoint = *queries
+	p.WarmTicks = *warm
+	p.Seed = *seed
+
+	sizeList, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdrbench:", err)
+		os.Exit(2)
+	}
+
+	r := experiments.NewRunner(p)
+	if err := run(r, strings.ToLower(*exp), sizeList, *format == "csv", *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "pdrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir string) error {
+	all := exp == "all"
+	section := func(name, paper string) {
+		fmt.Printf("\n=== %s — %s ===\n", name, paper)
+	}
+	start := time.Now()
+
+	if all || exp == "table1" {
+		section("Table 1", "experimental setup")
+		r.Table1(os.Stdout)
+	}
+	if all || exp == "fig7" {
+		section("Fig 7", "example: dense regions found by FR and PA")
+		rows, err := r.Fig7()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(os.Stdout, rows)
+		if svgDir != "" {
+			paths, err := r.Fig7SVG(svgDir)
+			if err != nil {
+				return err
+			}
+			for _, p := range paths {
+				fmt.Println("wrote", p)
+			}
+		}
+	}
+	if all || exp == "fig8a" || exp == "fig8b" {
+		section("Fig 8(a)/8(b)", "accuracy vs varrho and l: PA vs DH baselines")
+		rows, err := r.Fig8Accuracy()
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			if err := experiments.CSVFig8Accuracy(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintFig8Accuracy(os.Stdout, rows)
+		}
+	}
+	if all || exp == "fig8c" || exp == "fig8d" {
+		section("Fig 8(c)/8(d)", "accuracy vs memory budget")
+		rows, err := r.Fig8Memory()
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			if err := experiments.CSVFig8Memory(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintFig8Memory(os.Stdout, rows)
+		}
+	}
+	if all || exp == "fig9a" {
+		section("Fig 9(a)", "query CPU: PA vs DH")
+		rows, err := r.Fig9aQueryCPU()
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			if err := experiments.CSVFig9a(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintFig9a(os.Stdout, rows)
+		}
+	}
+	if all || exp == "fig9b" {
+		section("Fig 9(b)", "build CPU per location update: PA vs DH")
+		rows, err := r.Fig9bBuildCPU()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig9b(os.Stdout, rows)
+	}
+	if all || exp == "fig10a" {
+		section("Fig 10(a)", "total query cost: PA vs FR")
+		rows, err := r.Fig10aQueryCost()
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			if err := experiments.CSVFig10a(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintFig10a(os.Stdout, rows)
+		}
+	}
+	if all || exp == "fig10b" {
+		section("Fig 10(b)", "query cost vs dataset size")
+		rows, err := r.Fig10bScalability(sizes)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			if err := experiments.CSVFig10b(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintFig10b(os.Stdout, rows)
+		}
+	}
+	if all || exp == "interval" {
+		section("Interval (extension)", "interval PDR cost and union growth vs window width")
+		rows, err := r.ExtIntervalCost([]int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintInterval(os.Stdout, rows)
+	}
+	if all || exp == "baselines" {
+		section("Baselines", "prior-art methods (Figs 1-3 arguments) quantified vs exact PDR")
+		rows, err := r.BaselineComparison()
+		if err != nil {
+			return err
+		}
+		experiments.PrintBaselines(os.Stdout, rows)
+	}
+	if all || exp == "ablations" {
+		section("Ablations", "design choices called out in DESIGN.md")
+		var rows []experiments.AblationRow
+		bb, err := r.AblationBranchBound()
+		if err != nil {
+			return err
+		}
+		lp, err := r.AblationLocalPolynomials()
+		if err != nil {
+			return err
+		}
+		fl, err := r.AblationFilter()
+		if err != nil {
+			return err
+		}
+		ix, err := r.AblationIndex()
+		if err != nil {
+			return err
+		}
+		mg, err := r.AblationMergeCandidates()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, bb...)
+		rows = append(rows, lp...)
+		rows = append(rows, fl...)
+		rows = append(rows, ix...)
+		rows = append(rows, mg...)
+		experiments.PrintAblation(os.Stdout, rows)
+	}
+	switch exp {
+	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "baselines", "ablations":
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

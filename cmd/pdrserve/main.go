@@ -1,0 +1,58 @@
+// Command pdrserve runs the PDR engine as an HTTP service (see
+// internal/service for the API). It can start empty or pre-load a workload
+// file produced by pdrgen.
+//
+// Usage:
+//
+//	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
+//
+// Example session:
+//
+//	pdrgen -n 20000 -ticks 10 -o wl.jsonl
+//	pdrserve -data wl.jsonl &
+//	curl 'localhost:8080/v1/query?method=fr&varrho=3&l=30&at=now%2B10'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pdr/internal/core"
+	"pdr/internal/service"
+	"pdr/internal/wire"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		data  = flag.String("data", "", "optional workload file from pdrgen to pre-load")
+		l     = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
+		histM = flag.Int("histm", 100, "density histogram resolution per axis")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.L = *l
+	cfg.HistM = *histM
+	cfg.KeepHistory = true // the /v1/past audit endpoint needs the archive
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatal("pdrserve: ", err)
+	}
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal("pdrserve: ", err)
+		}
+		n, err := wire.Replay(f, svc.Engine())
+		f.Close()
+		if err != nil {
+			log.Fatal("pdrserve: ", err)
+		}
+		fmt.Fprintf(os.Stderr, "pdrserve: pre-loaded %d records\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "pdrserve: listening on %s\n", *addr)
+	log.Fatal(svc.ListenAndServe(*addr))
+}

@@ -1,0 +1,3 @@
+module pdr
+
+go 1.22

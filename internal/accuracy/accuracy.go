@@ -1,0 +1,30 @@
+// Package accuracy computes the PDR paper's answer-quality metrics
+// (Sec. 7.2): given the exact dense region D* and a method's answer D, the
+// false-positive ratio r_fp = area(D \ D*) / area(D*) and the false-negative
+// ratio r_fn = area(D* \ D) / area(D*). r_fp may exceed 1; r_fn never does.
+package accuracy
+
+import "pdr/internal/geom"
+
+// Ratios returns (r_fp, r_fn) for answer approx against ground truth exact.
+// When the exact region is empty, r_fn is 0 and r_fp is 0 if the answer is
+// also empty, +Inf-free convention: a non-empty answer against an empty
+// truth reports r_fp as the answer's area (a dimensionless blow-up is
+// undefined; callers compare methods at fixed truth, so this keeps ordering
+// meaningful).
+func Ratios(exact, approx geom.Region) (rfp, rfn float64) {
+	exactArea := exact.Area()
+	if exactArea == 0 {
+		return approx.Area(), 0
+	}
+	inter := approx.IntersectionArea(exact)
+	fp := approx.Area() - inter
+	fn := exactArea - inter
+	if fp < 0 {
+		fp = 0
+	}
+	if fn < 0 {
+		fn = 0
+	}
+	return fp / exactArea, fn / exactArea
+}

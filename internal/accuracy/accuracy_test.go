@@ -1,0 +1,94 @@
+package accuracy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdr/internal/geom"
+)
+
+func TestRatiosPerfect(t *testing.T) {
+	g := geom.Region{{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	fp, fn := Ratios(g, g)
+	if fp != 0 || fn != 0 {
+		t.Errorf("perfect answer: fp=%g fn=%g, want 0, 0", fp, fn)
+	}
+}
+
+func TestRatiosDisjoint(t *testing.T) {
+	exact := geom.Region{{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	approx := geom.Region{{MinX: 20, MinY: 20, MaxX: 30, MaxY: 30}}
+	fp, fn := Ratios(exact, approx)
+	if fp != 1 || fn != 1 {
+		t.Errorf("disjoint equal-area: fp=%g fn=%g, want 1, 1", fp, fn)
+	}
+}
+
+func TestRatiosSubset(t *testing.T) {
+	exact := geom.Region{{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	approx := geom.Region{{MinX: 0, MinY: 0, MaxX: 5, MaxY: 10}} // half
+	fp, fn := Ratios(exact, approx)
+	if fp != 0 {
+		t.Errorf("subset answer fp = %g, want 0", fp)
+	}
+	if math.Abs(fn-0.5) > 1e-12 {
+		t.Errorf("subset answer fn = %g, want 0.5", fn)
+	}
+}
+
+func TestRatiosSuperset(t *testing.T) {
+	exact := geom.Region{{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	approx := geom.Region{{MinX: 0, MinY: 0, MaxX: 20, MaxY: 10}} // double
+	fp, fn := Ratios(exact, approx)
+	if math.Abs(fp-1) > 1e-12 {
+		t.Errorf("superset answer fp = %g, want 1 (r_fp may exceed 100%%)", fp)
+	}
+	if fn != 0 {
+		t.Errorf("superset answer fn = %g, want 0", fn)
+	}
+}
+
+func TestRatiosEmptyTruth(t *testing.T) {
+	fp, fn := Ratios(nil, nil)
+	if fp != 0 || fn != 0 {
+		t.Errorf("both empty: fp=%g fn=%g", fp, fn)
+	}
+	fp, fn = Ratios(nil, geom.Region{{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}})
+	if fp != 4 || fn != 0 {
+		t.Errorf("empty truth, 2x2 answer: fp=%g fn=%g, want 4, 0", fp, fn)
+	}
+}
+
+func TestQuickRatioBoundsAndIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() geom.Region {
+			n := 1 + rng.Intn(5)
+			g := make(geom.Region, n)
+			for i := range g {
+				x, y := rng.Float64()*50, rng.Float64()*50
+				g[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*20, MaxY: y + rng.Float64()*20}
+			}
+			return g
+		}
+		exact, approx := mk(), mk()
+		fp, fn := Ratios(exact, approx)
+		if fn < -1e-12 || fn > 1+1e-12 || fp < -1e-12 {
+			return false
+		}
+		// Identity: area(approx) = area(exact)*(fp) + intersection, and
+		// intersection = area(exact)*(1-fn).
+		ea := exact.Area()
+		if ea == 0 {
+			return true
+		}
+		lhs := approx.Area()
+		rhs := fp*ea + (1-fn)*ea
+		return math.Abs(lhs-rhs) < 1e-6*(1+lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

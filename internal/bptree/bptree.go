@@ -1,0 +1,309 @@
+// Package bptree implements a paged B+-tree over uint64 keys with
+// moving-object states as values — the ordered-index substrate of the
+// B^x-tree. Leaves are linked for range scans, and the iterator supports
+// arbitrary re-seeks so a Z-curve scan can jump with BIGMIN.
+//
+// Duplicate keys are allowed (many objects can share a curve cell).
+// Deletion is lazy: entries are removed in place without rebalancing, the
+// common trade-off for high-churn moving-object workloads where every
+// object reinserts within the update interval anyway.
+package bptree
+
+import (
+	"fmt"
+
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+const (
+	headerBytes        = 24
+	leafEntryBytes     = 8 + 8 + 4*8 // key + id + position + velocity
+	internalEntryBytes = 8 + 8       // separator + child
+)
+
+// node is one page: a leaf holds (key, state) entries plus a right-sibling
+// link; an internal node holds children and separator keys with
+// keys[i] = smallest key reachable under children[i+1].
+type node struct {
+	leaf     bool
+	keys     []uint64
+	vals     []motion.State   // leaves only
+	children []storage.PageID // internal only
+	next     storage.PageID   // leaves only: right sibling
+}
+
+// Tree is a paged B+-tree. Not safe for concurrent use.
+type Tree struct {
+	pool    *storage.Pool
+	root    storage.PageID
+	height  int
+	size    int
+	fanLeaf int
+	fanInt  int
+}
+
+// Config parameterizes construction.
+type Config struct {
+	// Pool backs the pages. Required.
+	Pool *storage.Pool
+	// PageSize in bytes (default 4 KB).
+	PageSize int
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("bptree: nil pool")
+	}
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = storage.DefaultPageSize
+	}
+	fanLeaf := (ps - headerBytes) / leafEntryBytes
+	fanInt := (ps - headerBytes) / internalEntryBytes
+	if fanLeaf < 4 || fanInt < 4 {
+		return nil, fmt.Errorf("bptree: page size %d too small", ps)
+	}
+	t := &Tree{pool: cfg.Pool, height: 1, fanLeaf: fanLeaf, fanInt: fanInt}
+	t.root = t.newNode(&node{leaf: true})
+	return t, nil
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+func (t *Tree) newNode(n *node) storage.PageID {
+	id := t.pool.Alloc()
+	t.write(id, n)
+	return id
+}
+
+func (t *Tree) read(id storage.PageID) *node {
+	v, err := t.pool.Read(id)
+	if err != nil {
+		panic("bptree: " + err.Error())
+	}
+	return v.(*node)
+}
+
+func (t *Tree) write(id storage.PageID, n *node) {
+	if err := t.pool.Write(id, n); err != nil {
+		panic("bptree: " + err.Error())
+	}
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// seekChildIndex returns the leftmost child that can contain entries with
+// keys >= key. On separator equality it descends LEFT: a split of duplicate
+// keys leaves entries equal to the separator in the left child too.
+func seekChildIndex(keys []uint64, key uint64) int {
+	return lowerBound(keys, key)
+}
+
+// childIndex returns the child to descend for key: the separator keys[i]
+// is the minimum key of children[i+1].
+func childIndex(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, val).
+func (t *Tree) Insert(key uint64, val motion.State) {
+	sepKey, newChild := t.insertAt(t.root, key, val)
+	if newChild != 0 {
+		newRoot := &node{
+			keys:     []uint64{sepKey},
+			children: []storage.PageID{t.root, newChild},
+		}
+		t.root = t.newNode(newRoot)
+		t.height++
+	}
+	t.size++
+}
+
+// insertAt descends to a leaf; on split it returns the separator key and
+// the new right sibling's page.
+func (t *Tree) insertAt(pid storage.PageID, key uint64, val motion.State) (uint64, storage.PageID) {
+	n := t.read(pid)
+	if n.leaf {
+		i := lowerBound(n.keys, key)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, motion.State{})
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) <= t.fanLeaf {
+			t.write(pid, n)
+			return 0, 0
+		}
+		// Split the leaf.
+		mid := len(n.keys) / 2
+		right := &node{
+			leaf: true,
+			keys: append([]uint64(nil), n.keys[mid:]...),
+			vals: append([]motion.State(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		rid := t.newNode(right)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = rid
+		t.write(pid, n)
+		return right.keys[0], rid
+	}
+	ci := childIndex(n.keys, key)
+	sep, newChild := t.insertAt(n.children[ci], key, val)
+	if newChild == 0 {
+		return 0, 0
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, 0)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.children) <= t.fanInt {
+		t.write(pid, n)
+		return 0, 0
+	}
+	// Split the internal node: the middle key moves up.
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	right := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]storage.PageID(nil), n.children[mid+1:]...),
+	}
+	rid := t.newNode(right)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	t.write(pid, n)
+	return upKey, rid
+}
+
+// Delete removes one entry with the given key whose state matches match,
+// reporting whether one was found. Removal is in place (lazy deletion).
+func (t *Tree) Delete(key uint64, match func(motion.State) bool) bool {
+	pid := t.root
+	for {
+		n := t.read(pid)
+		if n.leaf {
+			break
+		}
+		pid = n.children[seekChildIndex(n.keys, key)]
+	}
+	// Duplicates of key may spill into right siblings; walk until the key
+	// range is exhausted.
+	for pid != 0 {
+		n := t.read(pid)
+		i := lowerBound(n.keys, key)
+		for ; i < len(n.keys) && n.keys[i] == key; i++ {
+			if match(n.vals[i]) {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				t.write(pid, n)
+				t.size--
+				return true
+			}
+		}
+		if i < len(n.keys) {
+			return false // passed the key range
+		}
+		pid = n.next
+	}
+	return false
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	t    *Tree
+	page storage.PageID
+	n    *node
+	idx  int
+}
+
+// Seek returns an iterator positioned at the first entry with key >= key.
+func (t *Tree) Seek(key uint64) *Iterator {
+	pid := t.root
+	for {
+		n := t.read(pid)
+		if n.leaf {
+			break
+		}
+		pid = n.children[seekChildIndex(n.keys, key)]
+	}
+	it := &Iterator{t: t, page: pid}
+	it.n = t.read(pid)
+	it.idx = lowerBound(it.n.keys, key)
+	it.skipExhausted()
+	return it
+}
+
+// SeekTo repositions the iterator at the first entry with key >= key
+// (used for BIGMIN jumps).
+func (it *Iterator) SeekTo(key uint64) {
+	*it = *it.t.Seek(key)
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key (Valid must hold).
+func (it *Iterator) Key() uint64 { return it.n.keys[it.idx] }
+
+// Value returns the current state (Valid must hold).
+func (it *Iterator) Value() motion.State { return it.n.vals[it.idx] }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() {
+	it.idx++
+	it.skipExhausted()
+}
+
+// skipExhausted follows sibling links past empty/finished leaves.
+func (it *Iterator) skipExhausted() {
+	for it.n != nil && it.idx >= len(it.n.keys) {
+		if it.n.next == 0 {
+			it.n = nil
+			return
+		}
+		it.page = it.n.next
+		it.n = it.t.read(it.page)
+		it.idx = 0
+	}
+}
+
+// Scan visits entries with lo <= key <= hi in order; fn returning false
+// stops early.
+func (t *Tree) Scan(lo, hi uint64, fn func(uint64, motion.State) bool) {
+	for it := t.Seek(lo); it.Valid() && it.Key() <= hi; it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(Config{Pool: storage.NewPool(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func stateFor(id int) motion.State {
+	return motion.State{ID: motion.ObjectID(id)}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil pool must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), PageSize: 32}); err == nil {
+		t.Error("tiny page must be rejected")
+	}
+}
+
+func TestInsertScanSorted(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+		tr.Insert(keys[i], stateFor(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("expected multi-level tree, height %d", tr.Height())
+	}
+	var got []uint64
+	tr.Scan(0, ^uint64(0), func(k uint64, _ motion.State) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("full scan returned %d, want %d", len(got), n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan order broken at %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := newTree(t)
+	for k := uint64(0); k < 1000; k++ {
+		tr.Insert(k*10, stateFor(int(k)))
+	}
+	var got []uint64
+	tr.Scan(150, 305, func(k uint64, _ motion.State) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 260, 270, 280, 290, 300}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newTree(t)
+	for k := 0; k < 500; k++ {
+		tr.Insert(uint64(k), stateFor(k))
+	}
+	count := 0
+	tr.Scan(0, ^uint64(0), func(uint64, motion.State) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t)
+	const dups = 300 // force duplicates across leaf splits
+	for i := 0; i < dups; i++ {
+		tr.Insert(42, stateFor(i))
+	}
+	tr.Insert(41, stateFor(9001))
+	tr.Insert(43, stateFor(9002))
+	seen := map[motion.ObjectID]bool{}
+	tr.Scan(42, 42, func(k uint64, v motion.State) bool {
+		if k != 42 {
+			t.Fatalf("scan leaked key %d", k)
+		}
+		seen[v.ID] = true
+		return true
+	})
+	if len(seen) != dups {
+		t.Fatalf("found %d duplicates, want %d", len(seen), dups)
+	}
+	// Delete a specific duplicate, including ones past leaf boundaries.
+	for i := 0; i < dups; i++ {
+		id := motion.ObjectID(i)
+		if !tr.Delete(42, func(s motion.State) bool { return s.ID == id }) {
+			t.Fatalf("Delete dup %d failed", i)
+		}
+	}
+	if tr.Delete(42, func(motion.State) bool { return true }) {
+		t.Error("all dups deleted, another Delete succeeded")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newTree(t)
+	tr.Insert(5, stateFor(1))
+	if tr.Delete(6, func(motion.State) bool { return true }) {
+		t.Error("deleting an absent key succeeded")
+	}
+	if tr.Delete(5, func(motion.State) bool { return false }) {
+		t.Error("deleting with a never-matching predicate succeeded")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(2))
+	live := map[int]uint64{}
+	nextID := 0
+	for round := 0; round < 20000; round++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			k := rng.Uint64() >> 20
+			tr.Insert(k, stateFor(nextID))
+			live[nextID] = k
+			nextID++
+		} else {
+			// Delete a random live entry.
+			for id, k := range live {
+				idc := motion.ObjectID(id)
+				if !tr.Delete(k, func(s motion.State) bool { return s.ID == idc }) {
+					t.Fatalf("churn delete of %d (key %d) failed", id, k)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	// Every live entry must be findable at its key.
+	for id, k := range live {
+		found := false
+		tr.Scan(k, k, func(_ uint64, v motion.State) bool {
+			if v.ID == motion.ObjectID(id) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("live entry %d (key %d) missing after churn", id, k)
+		}
+	}
+}
+
+func TestIteratorSeekTo(t *testing.T) {
+	tr := newTree(t)
+	for k := 0; k < 2000; k += 2 { // even keys only
+		tr.Insert(uint64(k), stateFor(k))
+	}
+	it := tr.Seek(0)
+	if !it.Valid() || it.Key() != 0 {
+		t.Fatalf("Seek(0): key %d", it.Key())
+	}
+	it.SeekTo(1001) // odd: lands on 1002
+	if !it.Valid() || it.Key() != 1002 {
+		t.Fatalf("SeekTo(1001): key %d", it.Key())
+	}
+	it.SeekTo(5000) // past the end
+	if it.Valid() {
+		t.Fatal("SeekTo past the end must invalidate")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := New(Config{Pool: storage.NewPool(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64(), stateFor(i))
+	}
+}
+
+func BenchmarkScan1000(b *testing.B) {
+	tr, err := New(Config{Pool: storage.NewPool(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 100000; k++ {
+		tr.Insert(uint64(k), stateFor(k))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Scan(50000, 51000, func(uint64, motion.State) bool {
+			count++
+			return true
+		})
+	}
+}
+
+func TestScanAcrossEmptiedLeaves(t *testing.T) {
+	// Delete every entry of a middle key range (emptying interior leaves);
+	// the iterator must skip the empty leaves via sibling links.
+	tr := newTree(t)
+	const n = 5000
+	for k := 0; k < n; k++ {
+		tr.Insert(uint64(k), stateFor(k))
+	}
+	for k := 1000; k < 4000; k++ {
+		kk := uint64(k)
+		if !tr.Delete(kk, func(motion.State) bool { return true }) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	var got []uint64
+	tr.Scan(500, 4500, func(k uint64, _ motion.State) bool {
+		got = append(got, k)
+		return true
+	})
+	want := 500 + 501 // 500..999 and 4000..4500
+	if len(got) != want {
+		t.Fatalf("scan returned %d keys, want %d", len(got), want)
+	}
+	if got[0] != 500 || got[len(got)-1] != 4500 {
+		t.Fatalf("scan bounds: first %d last %d", got[0], got[len(got)-1])
+	}
+	// The gap must be absent.
+	for _, k := range got {
+		if k >= 1000 && k < 4000 {
+			t.Fatalf("deleted key %d reappeared", k)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package bxtree implements a B^x-tree (Jensen, Lin & Ooi, VLDB 2004) — the
+// B+-tree-based moving-object index the PDR paper cites as an alternative
+// substrate for predicted trajectories.
+//
+// Each movement is assigned to the time phase of its reference time and its
+// position is forward-projected to the phase's label timestamp (the phase
+// end); the projected position's grid cell is linearized with the Z-order
+// curve, and (phase, zvalue) becomes a B+-tree key. A timestamp range query
+// expands the window per active phase by vmax * |qt - label| plus one cell
+// diagonal, scans the phase's curve interval with BIGMIN jumps, and filters
+// candidates exactly. Movements whose projected position falls outside the
+// indexable domain are kept in a small exactly-scanned outlier set, so
+// answers are always complete.
+package bxtree
+
+import (
+	"fmt"
+	"math"
+
+	"pdr/internal/bptree"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+	"pdr/internal/zcurve"
+)
+
+// Config parameterizes the index.
+type Config struct {
+	// Pool backs the B+-tree pages. Required.
+	Pool *storage.Pool
+	// Area is the monitored plane; the indexable domain is Area grown by
+	// Margin on every side (projected label positions can overshoot).
+	Area geom.Rect
+	// Margin extends the grid domain beyond the area (default: half the
+	// area width).
+	Margin float64
+	// Bits is the per-axis grid resolution exponent (2^Bits cells per
+	// axis; default 10 -> 1024 x 1024).
+	Bits int
+	// PhaseLen is the time-phase width (default U/2 is the classic pick;
+	// callers pass it directly).
+	PhaseLen motion.Tick
+	// PageSize in bytes (default 4 KB).
+	PageSize int
+}
+
+// Index is a B^x-tree. Not safe for concurrent use.
+type Index struct {
+	cfg    Config
+	domain geom.Rect
+	cellW  float64
+	cellH  float64
+	maxXY  uint32
+	tree   *bptree.Tree
+	now    motion.Tick
+	size   int
+	vmax   float64
+	// phases tracks live entry counts per absolute phase number.
+	phases map[int64]int
+	// outliers hold movements whose label projection leaves the domain.
+	outliers map[motion.ObjectID]motion.State
+}
+
+// New creates an empty index.
+func New(cfg Config) (*Index, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("bxtree: nil pool")
+	}
+	if cfg.Area.IsEmpty() {
+		return nil, fmt.Errorf("bxtree: empty area")
+	}
+	if cfg.PhaseLen <= 0 {
+		return nil, fmt.Errorf("bxtree: phase length must be positive, got %d", cfg.PhaseLen)
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 10
+	}
+	if cfg.Bits > 20 {
+		return nil, fmt.Errorf("bxtree: Bits %d too large (max 20)", cfg.Bits)
+	}
+	if cfg.Margin <= 0 {
+		cfg.Margin = cfg.Area.Width() / 2
+	}
+	tree, err := bptree.New(bptree.Config{Pool: cfg.Pool, PageSize: cfg.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	domain := cfg.Area.Grow(cfg.Margin)
+	n := 1 << uint(cfg.Bits)
+	return &Index{
+		cfg:      cfg,
+		domain:   domain,
+		cellW:    domain.Width() / float64(n),
+		cellH:    domain.Height() / float64(n),
+		maxXY:    uint32(n - 1),
+		tree:     tree,
+		phases:   make(map[int64]int),
+		outliers: make(map[motion.ObjectID]motion.State),
+	}, nil
+}
+
+// Len returns the number of indexed movements.
+func (x *Index) Len() int { return x.size }
+
+// Now returns the current time anchor.
+func (x *Index) Now() motion.Tick { return x.now }
+
+// SetNow advances the current time (monotone).
+func (x *Index) SetNow(now motion.Tick) {
+	if now > x.now {
+		x.now = now
+	}
+}
+
+// Outliers returns the number of movements kept outside the curve index.
+func (x *Index) Outliers() int { return len(x.outliers) }
+
+func (x *Index) phaseOf(ref motion.Tick) int64 {
+	p := int64(ref) / int64(x.cfg.PhaseLen)
+	if ref < 0 && int64(ref)%int64(x.cfg.PhaseLen) != 0 {
+		p--
+	}
+	return p
+}
+
+// label returns the label timestamp of phase p: the phase end.
+func (x *Index) label(p int64) motion.Tick {
+	return motion.Tick((p + 1) * int64(x.cfg.PhaseLen))
+}
+
+// cellOf maps an in-domain point to grid coordinates.
+func (x *Index) cellOf(p geom.Point) (uint32, uint32) {
+	cx := uint32((p.X - x.domain.MinX) / x.cellW)
+	cy := uint32((p.Y - x.domain.MinY) / x.cellH)
+	if cx > x.maxXY {
+		cx = x.maxXY
+	}
+	if cy > x.maxXY {
+		cy = x.maxXY
+	}
+	return cx, cy
+}
+
+// key builds the B+-tree key for phase p and curve value z.
+func key(p int64, z uint64) uint64 {
+	return uint64(p)<<42 | z
+}
+
+// keyFor returns the key of movement s and whether it is indexable (false:
+// outlier).
+func (x *Index) keyFor(s motion.State) (uint64, bool) {
+	p := x.phaseOf(s.Ref)
+	if p < 0 || p >= 1<<21 {
+		return 0, false
+	}
+	pos := s.PositionAt(x.label(p))
+	if !x.domain.Contains(pos) {
+		return 0, false
+	}
+	cx, cy := x.cellOf(pos)
+	return key(p, zcurve.Interleave(cx, cy)), true
+}
+
+// Insert indexes the movement s.
+func (x *Index) Insert(s motion.State) {
+	if v := math.Max(math.Abs(s.Vel.X), math.Abs(s.Vel.Y)); v > x.vmax {
+		x.vmax = v
+	}
+	if k, ok := x.keyFor(s); ok {
+		x.tree.Insert(k, s)
+		x.phases[x.phaseOf(s.Ref)]++
+	} else {
+		x.outliers[s.ID] = s
+	}
+	x.size++
+}
+
+// Delete removes the movement s (matched exactly as inserted), reporting
+// whether it was found.
+func (x *Index) Delete(s motion.State) bool {
+	if k, ok := x.keyFor(s); ok {
+		removed := x.tree.Delete(k, func(v motion.State) bool { return v == s })
+		if removed {
+			p := x.phaseOf(s.Ref)
+			x.phases[p]--
+			if x.phases[p] == 0 {
+				delete(x.phases, p)
+			}
+			x.size--
+		}
+		return removed
+	}
+	if v, ok := x.outliers[s.ID]; ok && v == s {
+		delete(x.outliers, s.ID)
+		x.size--
+		return true
+	}
+	return false
+}
+
+// Search visits every movement whose predicted position at qt lies in r
+// (closed containment). fn returning false stops the search.
+func (x *Index) Search(r geom.Rect, qt motion.Tick, fn func(motion.State) bool) {
+	visit := func(s motion.State) bool {
+		if r.ContainsClosed(s.PositionAt(qt)) {
+			return fn(s)
+		}
+		return true
+	}
+	for _, s := range x.outliers {
+		if !visit(s) {
+			return
+		}
+	}
+	for p := range x.phases {
+		if !x.searchPhase(p, r, qt, visit) {
+			return
+		}
+	}
+}
+
+// searchPhase scans one phase's curve interval; visit returning false stops
+// the scan and propagates false.
+func (x *Index) searchPhase(p int64, r geom.Rect, qt motion.Tick, visit func(motion.State) bool) bool {
+	dt := float64(qt - x.label(p))
+	if dt < 0 {
+		dt = -dt
+	}
+	// One extra cell absorbs the projected position's in-cell offset.
+	grow := x.vmax*dt + math.Max(x.cellW, x.cellH)
+	w := r.Grow(grow).Intersect(x.domain)
+	if w.IsEmpty() {
+		return true
+	}
+	x1, y1 := x.cellOf(geom.Point{X: w.MinX, Y: w.MinY})
+	x2, y2 := x.cellOf(geom.Point{X: w.MaxX, Y: w.MaxY})
+	lo := key(p, zcurve.Interleave(x1, y1))
+	hi := key(p, zcurve.Interleave(x2, y2))
+
+	it := x.tree.Seek(lo)
+	for it.Valid() && it.Key() <= hi {
+		z := it.Key() & (1<<42 - 1)
+		if zcurve.InWindow(z, x1, y1, x2, y2) {
+			if !visit(it.Value()) {
+				return false
+			}
+			it.Next()
+			continue
+		}
+		// Jump the gap with BIGMIN.
+		bm, ok := zcurve.BigMin(z, x1, y1, x2, y2)
+		if !ok {
+			break
+		}
+		it.SeekTo(key(p, bm))
+	}
+	return true
+}
+
+// RangeQuery collects Search results.
+func (x *Index) RangeQuery(r geom.Rect, qt motion.Tick) []motion.State {
+	var out []motion.State
+	x.Search(r, qt, func(s motion.State) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// All returns every indexed movement.
+func (x *Index) All() []motion.State {
+	out := make([]motion.State, 0, x.size)
+	for _, s := range x.outliers {
+		out = append(out, s)
+	}
+	x.tree.Scan(0, ^uint64(0), func(_ uint64, s motion.State) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}

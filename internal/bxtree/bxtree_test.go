@@ -1,0 +1,228 @@
+package bxtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+func area1000() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000} }
+
+func newIndex(t *testing.T) *Index {
+	t.Helper()
+	x, err := New(Config{Pool: storage.NewPool(0), Area: area1000(), PhaseLen: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func randomState(rng *rand.Rand, id int, ref motion.Tick) motion.State {
+	return motion.State{
+		ID:  motion.ObjectID(id),
+		Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+		Vel: geom.Vec{X: rng.Float64()*3 - 1.5, Y: rng.Float64()*3 - 1.5},
+		Ref: ref,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Area: area1000(), PhaseLen: 30}); err == nil {
+		t.Error("nil pool must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), PhaseLen: 30}); err == nil {
+		t.Error("empty area must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), Area: area1000()}); err == nil {
+		t.Error("zero phase length must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), Area: area1000(), PhaseLen: 30, Bits: 32}); err == nil {
+		t.Error("oversized Bits must be rejected")
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	x := newIndex(t)
+	rng := rand.New(rand.NewSource(1))
+	const n = 4000
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, motion.Tick(rng.Intn(60)))
+		x.Insert(states[i])
+	}
+	x.SetNow(60)
+	if x.Len() != n {
+		t.Fatalf("Len = %d, want %d", x.Len(), n)
+	}
+	for trial := 0; trial < 50; trial++ {
+		qt := motion.Tick(60 + rng.Intn(90))
+		r := geom.Rect{MinX: rng.Float64() * 800, MinY: rng.Float64() * 800}
+		r.MaxX = r.MinX + 40 + rng.Float64()*200
+		r.MaxY = r.MinY + 40 + rng.Float64()*200
+		var want, got []int
+		for _, s := range states {
+			if r.ContainsClosed(s.PositionAt(qt)) {
+				want = append(want, int(s.ID))
+			}
+		}
+		for _, s := range x.RangeQuery(r, qt) {
+			got = append(got, int(s.ID))
+		}
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d qt=%d: got %d results, want %d", trial, qt, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	x := newIndex(t)
+	rng := rand.New(rand.NewSource(2))
+	const n = 1500
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, motion.Tick(rng.Intn(90)))
+		x.Insert(states[i])
+	}
+	for _, i := range rng.Perm(n) {
+		if !x.Delete(states[i]) {
+			t.Fatalf("Delete(%d) failed", states[i].ID)
+		}
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", x.Len())
+	}
+	if x.Delete(states[0]) {
+		t.Error("double delete succeeded")
+	}
+	if got := x.RangeQuery(area1000(), 0); len(got) != 0 {
+		t.Fatalf("empty index returned %d results", len(got))
+	}
+	if len(x.phases) != 0 {
+		t.Errorf("phase bookkeeping leaked: %v", x.phases)
+	}
+}
+
+func TestOutliersStillFound(t *testing.T) {
+	x := newIndex(t)
+	// A rocket: projected label position way outside the domain margin.
+	s := motion.State{
+		ID:  motion.ObjectID(1),
+		Pos: geom.Point{X: 990, Y: 500},
+		Vel: geom.Vec{X: 100, Y: 0}, // 100/tick; label up to 30 ticks away
+		Ref: 1,
+	}
+	x.Insert(s)
+	if x.Outliers() != 1 {
+		t.Fatalf("Outliers = %d, want 1 (label projection leaves the domain)", x.Outliers())
+	}
+	// Still findable at qt=1 (inside the area).
+	got := x.RangeQuery(geom.Rect{MinX: 980, MinY: 490, MaxX: 1000, MaxY: 510}, 1)
+	if len(got) != 1 {
+		t.Fatalf("outlier not found: %d results", len(got))
+	}
+	if !x.Delete(s) {
+		t.Fatal("outlier delete failed")
+	}
+	if x.Len() != 0 {
+		t.Fatal("outlier delete did not decrement size")
+	}
+}
+
+func TestAllReturnsEverything(t *testing.T) {
+	x := newIndex(t)
+	rng := rand.New(rand.NewSource(3))
+	ids := map[motion.ObjectID]bool{}
+	for i := 0; i < 500; i++ {
+		s := randomState(rng, i, motion.Tick(rng.Intn(40)))
+		x.Insert(s)
+		ids[s.ID] = true
+	}
+	all := x.All()
+	if len(all) != 500 {
+		t.Fatalf("All returned %d, want 500", len(all))
+	}
+	for _, s := range all {
+		if !ids[s.ID] {
+			t.Fatalf("All returned unknown id %d", s.ID)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	x := newIndex(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		x.Insert(randomState(rng, i, 0))
+	}
+	visits := 0
+	x.Search(area1000(), 0, func(motion.State) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("early stop visited %d, want 5", visits)
+	}
+}
+
+func TestUpdateChurn(t *testing.T) {
+	x := newIndex(t)
+	rng := rand.New(rand.NewSource(5))
+	const n = 800
+	cur := make([]motion.State, n)
+	for i := range cur {
+		cur[i] = randomState(rng, i, 0)
+		x.Insert(cur[i])
+	}
+	for now := motion.Tick(1); now <= 60; now++ {
+		x.SetNow(now)
+		for k := 0; k < 40; k++ {
+			i := rng.Intn(n)
+			if !x.Delete(cur[i]) {
+				t.Fatalf("now=%d: Delete(%d) failed", now, cur[i].ID)
+			}
+			cur[i] = randomState(rng, i, now)
+			x.Insert(cur[i])
+		}
+	}
+	// Full-coverage correctness check after heavy churn.
+	qt := motion.Tick(80)
+	r := geom.Rect{MinX: 250, MinY: 250, MaxX: 700, MaxY: 700}
+	want := 0
+	for _, s := range cur {
+		if r.ContainsClosed(s.PositionAt(qt)) {
+			want++
+		}
+	}
+	if got := len(x.RangeQuery(r, qt)); got != want {
+		t.Fatalf("after churn: got %d, want %d", got, want)
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	x, err := New(Config{Pool: storage.NewPool(0), Area: area1000(), PhaseLen: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		x.Insert(randomState(rng, i, motion.Tick(rng.Intn(60))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := geom.Rect{MinX: rng.Float64() * 900, MinY: rng.Float64() * 900}
+		r.MaxX = r.MinX + 80
+		r.MaxY = r.MinY + 80
+		x.RangeQuery(r, motion.Tick(60+rng.Intn(60)))
+	}
+}

@@ -1,0 +1,257 @@
+// Package cheb provides the Chebyshev-polynomial machinery behind the PDR
+// paper's approximation method (Sec. 6): evaluation of Chebyshev polynomials
+// of the first kind, sound lower/upper bounds of T_i over subintervals of
+// [-1, 1], and truncated two-dimensional Chebyshev series of bounded total
+// degree with the closed-form coefficient increments of the paper's Lemma 4.
+package cheb
+
+import (
+	"fmt"
+	"math"
+)
+
+// T evaluates the Chebyshev polynomial of the first kind T_k at x using the
+// three-term recurrence (stable for |x| <= 1 and exact for the small degrees
+// used here).
+func T(k int, x float64) float64 {
+	switch k {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	tm, t := 1.0, x
+	for i := 2; i <= k; i++ {
+		tm, t = t, 2*x*t-tm
+	}
+	return t
+}
+
+// Bound returns sound lower and upper bounds of T_i over [z1, z2] (a
+// subinterval of [-1, 1]). T_i(x) = cos(i*arccos x); its extrema inside the
+// interval are the points where i*arccos(x) crosses a multiple of pi: odd
+// multiples give -1, even multiples give +1. Otherwise the extremes are at
+// the endpoints.
+func Bound(i int, z1, z2 float64) (lo, hi float64) {
+	if i == 0 {
+		return 1, 1
+	}
+	if z1 > z2 {
+		z1, z2 = z2, z1
+	}
+	z1 = clamp(z1, -1, 1)
+	z2 = clamp(z2, -1, 1)
+	// Endpoint values via the recurrence so they agree exactly with Eval
+	// (cos(acos(z)) round-trips with epsilon error and would make a bound
+	// minutely unsound).
+	v1, v2 := T(i, z1), T(i, z2)
+	lo = math.Min(v1, v2)
+	hi = math.Max(v1, v2)
+	// arccos is decreasing: theta runs over [th2, th1]; interior extrema of
+	// cos(i*theta) are the multiples of pi inside [i*th2, i*th1]. The range
+	// is widened by a hair so rounding can only add extrema (wider bounds
+	// stay sound).
+	th1 := math.Acos(z1)
+	th2 := math.Acos(z2)
+	u1 := float64(i) * th2 // low end of i*theta
+	u2 := float64(i) * th1
+	kLo := int(math.Ceil(u1/math.Pi - 1e-12))
+	kHi := int(math.Floor(u2/math.Pi + 1e-12))
+	for k := kLo; k <= kHi; k++ {
+		if k%2 == 0 {
+			hi = 1
+		} else {
+			lo = -1
+		}
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Series2D is a truncated two-dimensional Chebyshev series
+//
+//	f(x, y) ~ sum_{i+j <= K} A[i,j] T_i(x) T_j(y),  x, y in [-1, 1],
+//
+// with coefficients packed row-major over the triangular index set.
+type Series2D struct {
+	K int
+	A []float64
+}
+
+// NumCoeffs returns the number of coefficients of a total-degree-K series:
+// (K+1)(K+2)/2 (the paper's storage formula).
+func NumCoeffs(k int) int { return (k + 1) * (k + 2) / 2 }
+
+// NewSeries2D returns the zero series of total degree k.
+func NewSeries2D(k int) (*Series2D, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("cheb: negative degree %d", k)
+	}
+	return &Series2D{K: k, A: make([]float64, NumCoeffs(k))}, nil
+}
+
+// Index returns the packed position of coefficient (i, j); i+j must be <= K.
+func (s *Series2D) Index(i, j int) int {
+	// Row i starts after rows 0..i-1, which hold (K+1) + K + ... +
+	// (K+2-i) = i*(K+1) - i*(i-1)/2 coefficients.
+	return i*(s.K+1) - i*(i-1)/2 + j
+}
+
+// At returns coefficient (i, j).
+func (s *Series2D) At(i, j int) float64 { return s.A[s.Index(i, j)] }
+
+// Eval evaluates the series at (x, y) in [-1, 1]^2.
+func (s *Series2D) Eval(x, y float64) float64 {
+	k := s.K
+	tx := make([]float64, k+1)
+	ty := make([]float64, k+1)
+	chebVals(tx, x)
+	chebVals(ty, y)
+	var sum float64
+	idx := 0
+	for i := 0; i <= k; i++ {
+		var row float64
+		for j := 0; j <= k-i; j++ {
+			row += s.A[idx] * ty[j]
+			idx++
+		}
+		sum += row * tx[i]
+	}
+	return sum
+}
+
+// chebVals fills t with T_0(x)..T_len-1(x).
+func chebVals(t []float64, x float64) {
+	t[0] = 1
+	if len(t) > 1 {
+		t[1] = x
+	}
+	for i := 2; i < len(t); i++ {
+		t[i] = 2*x*t[i-1] - t[i-2]
+	}
+}
+
+// AddScaled adds w times o to s (both must have the same degree).
+func (s *Series2D) AddScaled(o *Series2D, w float64) {
+	for i := range s.A {
+		s.A[i] += w * o.A[i]
+	}
+}
+
+// Reset zeroes all coefficients.
+func (s *Series2D) Reset() {
+	for i := range s.A {
+		s.A[i] = 0
+	}
+}
+
+// AddBoxDelta adds to the series the Chebyshev approximation of
+// value * indicator([x1,x2] x [y1,y2]) using the closed form of the paper's
+// Lemma 4:
+//
+//	a_ij += c_ij/pi^2 * value * Ax_i * Ay_j
+//	Ax_0 = arccos(x1) - arccos(x2)
+//	Ax_i = (sin(i*arccos(x1)) - sin(i*arccos(x2))) / i        (i > 0)
+//
+// with c_ij = 4, or 2 when exactly one of i, j is zero, or 1 when both are.
+// Deletions pass a negative value. The box is clipped to [-1, 1]^2; an empty
+// clipped box is a no-op.
+func (s *Series2D) AddBoxDelta(x1, y1, x2, y2, value float64) {
+	x1, x2 = clamp(x1, -1, 1), clamp(x2, -1, 1)
+	y1, y2 = clamp(y1, -1, 1), clamp(y2, -1, 1)
+	if x2 <= x1 || y2 <= y1 || value == 0 {
+		return
+	}
+	k := s.K
+	ax := make([]float64, k+1)
+	ay := make([]float64, k+1)
+	boxFactors(ax, x1, x2)
+	boxFactors(ay, y1, y2)
+	scale := value / (math.Pi * math.Pi)
+	idx := 0
+	for i := 0; i <= k; i++ {
+		ci := 2.0
+		if i == 0 {
+			ci = 1
+		}
+		for j := 0; j <= k-i; j++ {
+			cj := 2.0
+			if j == 0 {
+				cj = 1
+			}
+			s.A[idx] += scale * ci * cj * ax[i] * ay[j]
+			idx++
+		}
+	}
+}
+
+// boxFactors fills a with the one-dimensional factors Ax_i of Lemma 4 for
+// the interval [z1, z2], computing sin(i*theta) by the angle-addition
+// recurrence so the cost is two arccos/sincos calls plus O(K) multiplies.
+func boxFactors(a []float64, z1, z2 float64) {
+	th1 := math.Acos(z1)
+	th2 := math.Acos(z2)
+	a[0] = th1 - th2
+	if len(a) == 1 {
+		return
+	}
+	s1, c1 := math.Sincos(th1)
+	s2, c2 := math.Sincos(th2)
+	si1, ci1 := s1, c1 // sin(i*th1), cos(i*th1)
+	si2, ci2 := s2, c2
+	for i := 1; i < len(a); i++ {
+		a[i] = (si1 - si2) / float64(i)
+		si1, ci1 = si1*c1+ci1*s1, ci1*c1-si1*s1
+		si2, ci2 = si2*c2+ci2*s2, ci2*c2-si2*s2
+	}
+}
+
+// Bounds returns sound lower and upper bounds of the series over the box
+// [x1, x2] x [y1, y2] (within [-1, 1]^2), obtained by interval arithmetic
+// over per-term Chebyshev bounds (paper Sec. 6.3).
+func (s *Series2D) Bounds(x1, y1, x2, y2 float64) (lo, hi float64) {
+	k := s.K
+	type iv struct{ lo, hi float64 }
+	bx := make([]iv, k+1)
+	by := make([]iv, k+1)
+	for i := 0; i <= k; i++ {
+		l, h := Bound(i, x1, x2)
+		bx[i] = iv{l, h}
+		l, h = Bound(i, y1, y2)
+		by[i] = iv{l, h}
+	}
+	idx := 0
+	for i := 0; i <= k; i++ {
+		for j := 0; j <= k-i; j++ {
+			a := s.A[idx]
+			idx++
+			if a == 0 {
+				continue
+			}
+			// Interval product bx[i] * by[j], then scaled by a.
+			p1 := bx[i].lo * by[j].lo
+			p2 := bx[i].lo * by[j].hi
+			p3 := bx[i].hi * by[j].lo
+			p4 := bx[i].hi * by[j].hi
+			tl := math.Min(math.Min(p1, p2), math.Min(p3, p4))
+			th := math.Max(math.Max(p1, p2), math.Max(p3, p4))
+			if a > 0 {
+				lo += a * tl
+				hi += a * th
+			} else {
+				lo += a * th
+				hi += a * tl
+			}
+		}
+	}
+	return lo, hi
+}

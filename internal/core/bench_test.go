@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"pdr/internal/datagen"
+)
+
+// BenchmarkServerTick measures end-to-end update ingestion: one tick of a
+// realistic stream applied to histogram + surfaces + index, reported per
+// update record.
+func BenchmarkServerTick(b *testing.B) {
+	cfg := testConfig()
+	s, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := datagen.DefaultConfig(20000)
+	gcfg.Seed = 1
+	g, err := datagen.New(gcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Load(g.InitialStates()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		ups := g.Advance()
+		if err := s.Tick(g.Now(), ups); err != nil {
+			b.Fatal(err)
+		}
+		records += len(ups)
+	}
+	if records > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records), "ns/update")
+	}
+}
+
+// BenchmarkSnapshotFR and BenchmarkSnapshotPA measure steady-state query
+// latency at a fixed scale.
+func BenchmarkSnapshotFR(b *testing.B) {
+	benchSnapshot(b, FR)
+}
+
+func BenchmarkSnapshotPA(b *testing.B) {
+	benchSnapshot(b, PA)
+}
+
+func benchSnapshot(b *testing.B, m Method) {
+	b.Helper()
+	cfg := testConfig()
+	s, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := datagen.DefaultConfig(20000)
+	gcfg.Seed = 2
+	g, err := datagen.New(gcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Load(g.InitialStates()); err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Rho: RelRhoTest(20000, 3), L: 60, At: 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Snapshot(q, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

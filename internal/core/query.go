@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pdr/internal/dh"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/sweep"
+)
+
+// Method selects the query evaluation strategy.
+type Method int
+
+const (
+	// FR is the exact filtering-refinement method (paper Sec. 5).
+	FR Method = iota
+	// PA is the Chebyshev polynomial approximation (paper Sec. 6).
+	PA
+	// DHOptimistic answers with accepted plus candidate histogram cells
+	// (no false negatives; paper Sec. 7.2).
+	DHOptimistic
+	// DHPessimistic answers with accepted cells only (no false positives).
+	DHPessimistic
+	// BruteForce sweeps all live objects over the whole area — the exact
+	// ground truth, independent of the histogram and the index.
+	BruteForce
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case FR:
+		return "FR"
+	case PA:
+		return "PA"
+	case DHOptimistic:
+		return "DH-opt"
+	case DHPessimistic:
+		return "DH-pess"
+	case BruteForce:
+		return "BF"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Query is a snapshot PDR query (rho, l, qt): all regions every point of
+// which has at least rho*l^2 objects in its l-square neighborhood at
+// timestamp qt.
+type Query struct {
+	Rho float64
+	L   float64
+	At  motion.Tick
+}
+
+// Result carries a query answer and its measured costs.
+type Result struct {
+	Method Method
+	Region geom.Region
+	// CPU is the measured computation time.
+	CPU time.Duration
+	// IOs is the number of physical page accesses the query incurred
+	// (only FR touches the index); IOTime charges them at the configured
+	// per-access cost; Total = CPU + IOTime, the paper's total query cost.
+	IOs    int64
+	IOTime time.Duration
+	// Filter-step diagnostics (FR and the DH baselines).
+	Accepted, Rejected, Candidates int
+	// ObjectsRetrieved counts index results fetched during refinement.
+	ObjectsRetrieved int
+}
+
+// Total returns CPU + IOTime.
+func (r *Result) Total() time.Duration { return r.CPU + r.IOTime }
+
+func (s *Server) validate(q Query) error {
+	if q.Rho < 0 {
+		return fmt.Errorf("core: negative density threshold %g", q.Rho)
+	}
+	if q.L <= 0 {
+		return fmt.Errorf("core: non-positive neighborhood edge %g", q.L)
+	}
+	if q.At < s.now || q.At > s.now+s.Horizon() {
+		return fmt.Errorf("core: query time %d outside [%d, %d]", q.At, s.now, s.now+s.Horizon())
+	}
+	return nil
+}
+
+// Snapshot answers the snapshot PDR query q with the given method.
+func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
+	if err := s.validate(q); err != nil {
+		return nil, err
+	}
+	res := &Result{Method: m}
+	ioBefore := s.pool.Stats()
+	start := time.Now()
+	var err error
+	switch m {
+	case FR:
+		err = s.snapshotFR(q, res)
+	case PA:
+		err = s.snapshotPA(q, res)
+	case DHOptimistic, DHPessimistic:
+		err = s.snapshotDH(q, m, res)
+	case BruteForce:
+		s.snapshotBF(q, res)
+	default:
+		err = fmt.Errorf("core: unknown method %d", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CPU = time.Since(start)
+	res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
+	res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
+	return res, nil
+}
+
+// snapshotFR runs filtering over the histogram and plane-sweep refinement
+// over index range results for every candidate window. The paper refines
+// cell by cell; with Config.MergeCandidates adjacent candidate cells are
+// coalesced into maximal windows first, saving duplicate index retrievals
+// where candidates cluster (the grown squares of neighboring cells overlap
+// heavily). Both modes return identical regions.
+func (s *Server) snapshotFR(q Query, res *Result) error {
+	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
+	if err != nil {
+		return err
+	}
+	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
+	region := fr.AcceptedRegion()
+
+	var windows geom.Region
+	for _, c := range fr.Candidates() {
+		windows.Add(s.hist.CellRect(c.I, c.J))
+	}
+	if s.cfg.MergeCandidates {
+		windows = geom.Coalesce(windows)
+	}
+	for _, cell := range windows {
+		grown := cell.Grow(q.L / 2)
+		var points []geom.Point
+		s.index.Search(grown, q.At, func(st motion.State) bool {
+			p := st.PositionAt(q.At)
+			if s.cfg.Area.Contains(p) {
+				points = append(points, p)
+			}
+			return true
+		})
+		res.ObjectsRetrieved += len(points)
+		region = append(region, sweep.DenseRects(points, cell, q.Rho, q.L)...)
+	}
+	res.Region = geom.Coalesce(region)
+	return nil
+}
+
+func (s *Server) snapshotPA(q Query, res *Result) error {
+	if q.L != s.surf.L() {
+		return fmt.Errorf("core: PA surfaces are built for l=%g, query asked l=%g (the approximation method fixes l in advance; use FR for other edges)",
+			s.surf.L(), q.L)
+	}
+	region, err := s.surf.DenseRegion(q.At, q.Rho)
+	if err != nil {
+		return err
+	}
+	res.Region = region
+	return nil
+}
+
+func (s *Server) snapshotDH(q Query, m Method, res *Result) error {
+	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
+	if err != nil {
+		return err
+	}
+	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
+	if m == DHOptimistic {
+		res.Region = fr.OptimisticRegion()
+	} else {
+		res.Region = fr.PessimisticRegion()
+	}
+	return nil
+}
+
+func (s *Server) snapshotBF(q Query, res *Result) {
+	points := make([]geom.Point, 0, len(s.live))
+	for _, st := range s.live {
+		p := st.PositionAt(q.At)
+		if s.cfg.Area.Contains(p) {
+			points = append(points, p)
+		}
+	}
+	res.ObjectsRetrieved = len(points)
+	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+}
+
+// PastSnapshot answers the snapshot PDR query q for a timestamp in the
+// past, exactly, from the movement archive plus the still-active movements
+// that were already current at q.At. Requires Config.KeepHistory; q.At must
+// precede the server clock (use Snapshot for now and the future).
+func (s *Server) PastSnapshot(q Query) (*Result, error) {
+	if s.hst == nil {
+		return nil, fmt.Errorf("core: history is disabled (set Config.KeepHistory)")
+	}
+	if q.At >= s.now {
+		return nil, fmt.Errorf("core: PastSnapshot is for t < now (%d); use Snapshot", s.now)
+	}
+	if q.Rho < 0 || q.L <= 0 {
+		return nil, fmt.Errorf("core: bad query parameters rho=%g l=%g", q.Rho, q.L)
+	}
+	res := &Result{Method: BruteForce}
+	start := time.Now()
+	points := s.hst.PointsAt(q.At)
+	for _, st := range s.live {
+		if st.Ref > q.At {
+			continue // this movement did not exist yet at q.At
+		}
+		p := st.PositionAt(q.At)
+		if s.cfg.Area.Contains(p) {
+			points = append(points, p)
+		}
+	}
+	res.ObjectsRetrieved = len(points)
+	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	res.CPU = time.Since(start)
+	return res, nil
+}
+
+// Interval answers the interval PDR query (rho, l, [q.At, until]) — the
+// union of the snapshot answers over every timestamp in the range
+// (Definition 5) — accumulating costs across snapshots.
+func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error) {
+	if until < q.At {
+		return nil, fmt.Errorf("core: empty interval [%d, %d]", q.At, until)
+	}
+	out := &Result{Method: m}
+	var region geom.Region
+	for t := q.At; t <= until; t++ {
+		sub := q
+		sub.At = t
+		r, err := s.Snapshot(sub, m)
+		if err != nil {
+			return nil, err
+		}
+		region = append(region, r.Region...)
+		out.CPU += r.CPU
+		out.IOs += r.IOs
+		out.IOTime += r.IOTime
+		out.Accepted += r.Accepted
+		out.Rejected += r.Rejected
+		out.Candidates += r.Candidates
+		out.ObjectsRetrieved += r.ObjectsRetrieved
+	}
+	out.Region = region
+	return out, nil
+}
+
+// FilterMarks exposes the raw filter classification for a query — used by
+// the experiment harness and example programs to visualize the filter step.
+func (s *Server) FilterMarks(q Query) (*dh.FilterResult, error) {
+	if err := s.validate(q); err != nil {
+		return nil, err
+	}
+	return s.hist.Filter(q.At, q.Rho, q.L)
+}

@@ -1,0 +1,329 @@
+// Package core is the PDR query engine — the paper's primary contribution
+// assembled over the substrates: a Server ingests the location-update stream
+// and maintains, for every timestamp in the horizon [now, now+H],
+//
+//   - a TPR-tree over the predicted trajectories (for the refinement step),
+//   - a density histogram (for the filtering step and the DH baselines), and
+//   - a grid of Chebyshev density surfaces (for the approximation method),
+//
+// and answers snapshot and interval pointwise-dense-region queries by any of
+// the paper's methods: FR (exact filtering-refinement), PA (Chebyshev
+// approximation), optimistic/pessimistic DH, or a brute-force global sweep
+// used as ground truth.
+//
+// Population contract: an object whose predicted position lies outside the
+// monitored area at timestamp t does not exist at t. All methods apply the
+// same rule, so FR and the brute force return identical regions.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pdr/internal/bxtree"
+	"pdr/internal/dh"
+	"pdr/internal/geom"
+	"pdr/internal/gridindex"
+	"pdr/internal/history"
+	"pdr/internal/motion"
+	"pdr/internal/pa"
+	"pdr/internal/storage"
+	"pdr/internal/tprtree"
+)
+
+// Index is the access method the refinement step queries: any structure
+// that indexes predicted movements and answers timestamp range queries.
+// Both the TPR-tree (the paper's choice) and the uniform grid index satisfy
+// it over the same buffer pool, making their I/O directly comparable.
+type Index interface {
+	Insert(motion.State)
+	Delete(motion.State) bool
+	SetNow(motion.Tick)
+	Search(r geom.Rect, qt motion.Tick, fn func(motion.State) bool)
+	All() []motion.State
+	Len() int
+}
+
+// IndexKind selects the refinement access method.
+type IndexKind string
+
+const (
+	// IndexTPR is the TPR-tree (default; the paper's substrate).
+	IndexTPR IndexKind = "tpr"
+	// IndexGrid is the paged uniform grid (SETI-style ablation baseline).
+	IndexGrid IndexKind = "grid"
+	// IndexBx is the B^x-tree (B+-tree over Z-order keys with time
+	// phases), the alternative the paper's related work cites.
+	IndexBx IndexKind = "bx"
+)
+
+// Config parameterizes a Server. Zero fields fall back to the paper's
+// defaults where one exists.
+type Config struct {
+	// Area is the monitored plane (the paper: 1,000 x 1,000 miles).
+	Area geom.Rect
+	// U is the maximum update interval; W the prediction window. The
+	// maintenance horizon is H = U + W (paper defaults: 60 and 30).
+	U, W motion.Tick
+	// HistM is the density histogram resolution per axis (HistM^2 cells;
+	// paper default 10,000 total -> 100).
+	HistM int
+	// PAGrid is the per-axis local polynomial count (paper default 100
+	// polynomials -> 10); PADegree the Chebyshev total degree (default 5);
+	// PAMD the evaluation resolution floor (default 256).
+	PAGrid, PADegree, PAMD int
+	// L is the fixed neighborhood edge the PA surfaces are built for
+	// (paper: 30 or 60). FR accepts any l >= 2*Area/HistM at query time.
+	L float64
+	// BufferPages caps the TPR-tree buffer pool (0 = unlimited; the paper
+	// sizes it at 10% of the dataset).
+	BufferPages int
+	// PageSize is the tree page size in bytes (default 4 KB).
+	PageSize int
+	// IOCharge is the modelled cost per physical page access (default the
+	// paper's 10 ms).
+	IOCharge time.Duration
+	// Index selects the refinement access method (default IndexTPR).
+	Index IndexKind
+	// GridM is the per-axis bucket count when Index is IndexGrid (default
+	// 32).
+	GridM int
+	// KeepHistory archives superseded movements so PastSnapshot can answer
+	// PDR queries for past timestamps (memory grows with the update
+	// volume).
+	KeepHistory bool
+	// MergeCandidates coalesces adjacent candidate cells into maximal
+	// windows before refinement, reducing duplicate index retrievals where
+	// candidates cluster. Answers are identical with or without it; the
+	// paper's per-cell refinement is the default.
+	MergeCandidates bool
+}
+
+// DefaultConfig returns the paper's default experimental setup (Table 1,
+// with OCR-lost digits reconstructed as documented in DESIGN.md).
+func DefaultConfig() Config {
+	return Config{
+		Area:     geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		U:        60,
+		W:        30,
+		HistM:    100,
+		PAGrid:   10,
+		PADegree: 5,
+		PAMD:     256,
+		L:        30,
+		IOCharge: storage.DefaultRandomIO,
+	}
+}
+
+// Server maintains all query structures over the update stream. It is not
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	now   motion.Tick
+	hist  *dh.Histogram
+	surf  *pa.Surface
+	pool  *storage.Pool
+	index Index
+	live  map[motion.ObjectID]motion.State
+	hst   *history.Store // nil unless cfg.KeepHistory
+}
+
+// NewServer builds an empty server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Area.IsEmpty() {
+		return nil, fmt.Errorf("core: empty area")
+	}
+	if cfg.U <= 0 || cfg.W < 0 {
+		return nil, fmt.Errorf("core: bad intervals U=%d W=%d", cfg.U, cfg.W)
+	}
+	if cfg.HistM <= 0 {
+		cfg.HistM = 100
+	}
+	if cfg.PAGrid <= 0 {
+		cfg.PAGrid = 10
+	}
+	if cfg.PADegree <= 0 {
+		cfg.PADegree = 5
+	}
+	if cfg.PAMD <= 0 {
+		cfg.PAMD = 256
+	}
+	if cfg.L <= 0 {
+		cfg.L = 30
+	}
+	if cfg.IOCharge == 0 {
+		cfg.IOCharge = storage.DefaultRandomIO
+	}
+	horizon := cfg.U + cfg.W
+
+	hist, err := dh.New(dh.Config{Area: cfg.Area, M: cfg.HistM, Horizon: horizon})
+	if err != nil {
+		return nil, err
+	}
+	surf, err := pa.New(pa.Config{
+		Area: cfg.Area, G: cfg.PAGrid, Degree: cfg.PADegree,
+		Horizon: horizon, L: cfg.L, MD: cfg.PAMD,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewPool(cfg.BufferPages)
+	var index Index
+	switch cfg.Index {
+	case "", IndexTPR:
+		cfg.Index = IndexTPR
+		index, err = tprtree.New(tprtree.Config{Pool: pool, Horizon: horizon, PageSize: cfg.PageSize})
+	case IndexGrid:
+		if cfg.GridM <= 0 {
+			cfg.GridM = 32
+		}
+		index, err = gridindex.New(gridindex.Config{Pool: pool, Area: cfg.Area, M: cfg.GridM, PageSize: cfg.PageSize})
+	case IndexBx:
+		phase := cfg.U / 2
+		if phase <= 0 {
+			phase = 1
+		}
+		index, err = bxtree.New(bxtree.Config{Pool: pool, Area: cfg.Area, PhaseLen: phase, PageSize: cfg.PageSize})
+	default:
+		err = fmt.Errorf("core: unknown index kind %q", cfg.Index)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hst *history.Store
+	if cfg.KeepHistory {
+		hst, err = history.New(history.Config{Area: cfg.Area, BucketTicks: cfg.U})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		cfg:   cfg,
+		hist:  hist,
+		surf:  surf,
+		pool:  pool,
+		index: index,
+		live:  make(map[motion.ObjectID]motion.State),
+		hst:   hst,
+	}, nil
+}
+
+// Config returns the server's effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Horizon returns H = U + W.
+func (s *Server) Horizon() motion.Tick { return s.cfg.U + s.cfg.W }
+
+// Now returns the current server time.
+func (s *Server) Now() motion.Tick { return s.now }
+
+// NumObjects returns the live object count.
+func (s *Server) NumObjects() int { return len(s.live) }
+
+// Pool exposes the TPR-tree buffer pool (for I/O statistics).
+func (s *Server) Pool() *storage.Pool { return s.pool }
+
+// Histogram exposes the density histogram (read-only use).
+func (s *Server) Histogram() *dh.Histogram { return s.hist }
+
+// Surface exposes the Chebyshev density surface (read-only use).
+func (s *Server) Surface() *pa.Surface { return s.surf }
+
+// Index exposes the refinement access method (read-only use).
+func (s *Server) Index() Index { return s.index }
+
+// bulkLoader is implemented by access methods that support packed initial
+// loading (the TPR-tree's STR bulk load).
+type bulkLoader interface {
+	BulkLoad([]motion.State) error
+}
+
+// Load bulk-inserts the initial object states; their reference times set
+// the server clock if it has not advanced yet. When the index is empty and
+// supports it, the index portion uses packed bulk loading, which is roughly
+// an order of magnitude faster than one-at-a-time insertion.
+func (s *Server) Load(states []motion.State) error {
+	bl, bulk := s.index.(bulkLoader)
+	if !bulk || s.index.Len() > 0 {
+		for _, st := range states {
+			if err := s.applyInsert(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, st := range states {
+		if _, ok := s.live[st.ID]; ok {
+			return fmt.Errorf("core: duplicate object %d in bulk load", st.ID)
+		}
+		s.live[st.ID] = st
+		s.hist.Insert(st)
+		s.surf.Insert(st)
+	}
+	return bl.BulkLoad(states)
+}
+
+// Tick advances server time to now and applies the tick's update stream.
+func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
+	if now < s.now {
+		return fmt.Errorf("core: time moved backwards: %d < %d", now, s.now)
+	}
+	s.now = now
+	s.hist.Advance(now)
+	s.surf.Advance(now)
+	s.index.SetNow(now)
+	for _, u := range updates {
+		if err := s.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply processes a single update record.
+func (s *Server) Apply(u motion.Update) error {
+	switch u.Kind {
+	case motion.Insert:
+		return s.applyInsert(u.State)
+	case motion.Delete:
+		return s.applyDelete(u.State, u.At)
+	default:
+		return fmt.Errorf("core: unknown update kind %d", u.Kind)
+	}
+}
+
+func (s *Server) applyInsert(st motion.State) error {
+	if _, ok := s.live[st.ID]; ok {
+		return fmt.Errorf("core: insert of live object %d (delete the stale movement first)", st.ID)
+	}
+	s.live[st.ID] = st
+	s.hist.Insert(st)
+	s.surf.Insert(st)
+	s.index.Insert(st)
+	return nil
+}
+
+func (s *Server) applyDelete(st motion.State, at motion.Tick) error {
+	cur, ok := s.live[st.ID]
+	if !ok {
+		return fmt.Errorf("core: delete of unknown object %d", st.ID)
+	}
+	if cur != st {
+		return fmt.Errorf("core: delete state mismatch for object %d", st.ID)
+	}
+	delete(s.live, st.ID)
+	s.hist.Delete(st, at)
+	s.surf.Delete(st, at)
+	if !s.index.Delete(st) {
+		return fmt.Errorf("core: object %d missing from the index", st.ID)
+	}
+	if s.hst != nil && at > st.Ref {
+		if err := s.hst.Record(history.Segment{State: st, From: st.Ref, To: at}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// History exposes the archive (nil unless Config.KeepHistory).
+func (s *Server) History() *history.Store { return s.hst }

@@ -1,0 +1,195 @@
+package dh
+
+import (
+	"fmt"
+	"math"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// Mark is the filter-step classification of a grid cell (paper Algorithm 1).
+type Mark uint8
+
+const (
+	// Rejected cells are certainly nowhere dense.
+	Rejected Mark = iota
+	// Accepted cells are certainly everywhere dense.
+	Accepted
+	// Candidate cells need the refinement step.
+	Candidate
+)
+
+// String implements fmt.Stringer.
+func (m Mark) String() string {
+	switch m {
+	case Accepted:
+		return "accepted"
+	case Rejected:
+		return "rejected"
+	case Candidate:
+		return "candidate"
+	default:
+		return "unknown"
+	}
+}
+
+// CellIndex addresses a grid cell.
+type CellIndex struct{ I, J int }
+
+// FilterResult is the outcome of the filtering step.
+type FilterResult struct {
+	h     *Histogram
+	marks []Mark
+	// EtaL and EtaH are the conservative/expansive neighborhood radii used.
+	EtaL, EtaH int
+}
+
+// Mark returns the classification of cell (i, j).
+func (r *FilterResult) Mark(i, j int) Mark { return r.marks[i*r.h.cfg.M+j] }
+
+// Candidates returns the candidate cells in row-major order.
+func (r *FilterResult) Candidates() []CellIndex {
+	var out []CellIndex
+	m := r.h.cfg.M
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if r.marks[i*m+j] == Candidate {
+				out = append(out, CellIndex{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// AcceptedRegion returns the union of all accepted cells.
+func (r *FilterResult) AcceptedRegion() geom.Region {
+	return r.region(Accepted)
+}
+
+// OptimisticRegion returns accepted plus candidate cells — the "optimistic
+// DH" baseline answer (false negatives impossible, false positives likely).
+func (r *FilterResult) OptimisticRegion() geom.Region {
+	var g geom.Region
+	m := r.h.cfg.M
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if mk := r.marks[i*m+j]; mk == Accepted || mk == Candidate {
+				g.Add(r.h.CellRect(i, j))
+			}
+		}
+	}
+	return g
+}
+
+// PessimisticRegion returns accepted cells only — the "pessimistic DH"
+// baseline answer (false positives impossible, false negatives likely).
+func (r *FilterResult) PessimisticRegion() geom.Region {
+	return r.region(Accepted)
+}
+
+func (r *FilterResult) region(want Mark) geom.Region {
+	var g geom.Region
+	m := r.h.cfg.M
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if r.marks[i*m+j] == want {
+				g.Add(r.h.CellRect(i, j))
+			}
+		}
+	}
+	return g
+}
+
+// CountMarks returns how many cells carry each mark.
+func (r *FilterResult) CountMarks() (accepted, rejected, candidates int) {
+	for _, mk := range r.marks {
+		switch mk {
+		case Accepted:
+			accepted++
+		case Rejected:
+			rejected++
+		default:
+			candidates++
+		}
+	}
+	return
+}
+
+// Filter runs the paper's Algorithm 1 (FilterQuery) at timestamp qt for a
+// PDR query with density threshold rho and neighborhood edge l. It requires
+// l_c <= l/2 (otherwise neither neighborhood bound is valid) and qt within
+// the maintained window.
+func (h *Histogram) Filter(qt motion.Tick, rho, l float64) (*FilterResult, error) {
+	if l <= 0 || rho < 0 {
+		return nil, fmt.Errorf("dh: bad query parameters rho=%g l=%g", rho, l)
+	}
+	lc := math.Max(h.lcX, h.lcY)
+	if lc > l/2+1e-9 {
+		return nil, fmt.Errorf("dh: cell edge %g exceeds l/2 = %g; use a finer grid", lc, l/2)
+	}
+	if qt < h.base || qt > h.base+h.cfg.Horizon {
+		return nil, fmt.Errorf("dh: timestamp %d outside window [%d, %d]", qt, h.base, h.base+h.cfg.Horizon)
+	}
+
+	m := h.cfg.M
+	counts := h.slot(qt)
+	// 2-D prefix sums: pre[(i+1)*(m+1)+(j+1)] = sum of counts[0..i][0..j].
+	pre := make([]int64, (m+1)*(m+1))
+	for i := 0; i < m; i++ {
+		var row int64
+		for j := 0; j < m; j++ {
+			row += int64(counts[i*m+j])
+			pre[(i+1)*(m+1)+(j+1)] = pre[i*(m+1)+(j+1)] + row
+		}
+	}
+	// rectSum returns the object count over cells [i1..i2] x [j1..j2],
+	// clamped to the grid.
+	rectSum := func(i1, j1, i2, j2 int) int64 {
+		if i1 < 0 {
+			i1 = 0
+		}
+		if j1 < 0 {
+			j1 = 0
+		}
+		if i2 >= m {
+			i2 = m - 1
+		}
+		if j2 >= m {
+			j2 = m - 1
+		}
+		if i1 > i2 || j1 > j2 {
+			return 0
+		}
+		return pre[(i2+1)*(m+1)+(j2+1)] - pre[i1*(m+1)+(j2+1)] -
+			pre[(i2+1)*(m+1)+j1] + pre[i1*(m+1)+j1]
+	}
+
+	// Neighborhood radii (see DESIGN.md), computed per axis so non-square
+	// cells stay sound: the conservative neighborhood (cells strictly
+	// within eta_l) is contained in every point's l-square when
+	// eta_l*lc <= l/2; the expansive neighborhood contains every point's
+	// l-square when eta_h*lc >= l/2.
+	etaLx := int(math.Floor(l / (2 * h.lcX) * (1 + 1e-12)))
+	etaLy := int(math.Floor(l / (2 * h.lcY) * (1 + 1e-12)))
+	etaHx := int(math.Ceil(l / (2 * h.lcX) * (1 - 1e-12)))
+	etaHy := int(math.Ceil(l / (2 * h.lcY) * (1 - 1e-12)))
+	threshold := rho * l * l
+
+	res := &FilterResult{h: h, marks: make([]Mark, m*m), EtaL: etaLx, EtaH: etaHx}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			nc := rectSum(i-etaLx+1, j-etaLy+1, i+etaLx-1, j+etaLy-1)
+			ne := rectSum(i-etaHx, j-etaHy, i+etaHx, j+etaHy)
+			switch {
+			case float64(nc) >= threshold:
+				res.marks[i*m+j] = Accepted
+			case float64(ne) < threshold:
+				res.marks[i*m+j] = Rejected
+			default:
+				res.marks[i*m+j] = Candidate
+			}
+		}
+	}
+	return res, nil
+}

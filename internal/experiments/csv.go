@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// CSVFig8Accuracy writes Fig. 8(a)/8(b) rows as CSV.
+func CSVFig8Accuracy(w io.Writer, rows []AccuracyRow) error {
+	out := [][]string{{"l", "varrho", "pa_rfp_pct", "pa_rfn_pct", "dhopt_rfp_pct", "dhpess_rfn_pct"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			f(r.L), f(r.Varrho), f(r.PAfpPct), f(r.PAfnPct), f(r.DHOptPct), f(r.DHPessPct),
+		})
+	}
+	return csv.NewWriter(w).WriteAll(out)
+}
+
+// CSVFig8Memory writes Fig. 8(c)/8(d) rows as CSV.
+func CSVFig8Memory(w io.Writer, rows []MemoryRow) error {
+	out := [][]string{{"method", "config", "memory_mb", "rfp_pct", "rfn_pct"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Method, r.Config, f(r.MemoryMB), f(r.RfpPct), f(r.RfnPct)})
+	}
+	return csv.NewWriter(w).WriteAll(out)
+}
+
+// CSVFig9a writes Fig. 9(a) rows as CSV (microseconds).
+func CSVFig9a(w io.Writer, rows []QueryCPURow) error {
+	out := [][]string{{"l", "varrho", "pa_cpu_us", "dh_cpu_us"}}
+	for _, r := range rows {
+		out = append(out, []string{f(r.L), f(r.Varrho), us(r.PACPU), us(r.DHCPU)})
+	}
+	return csv.NewWriter(w).WriteAll(out)
+}
+
+// CSVFig10a writes Fig. 10(a) rows as CSV (microseconds).
+func CSVFig10a(w io.Writer, rows []QueryCostRow) error {
+	out := [][]string{{"l", "varrho", "pa_total_us", "fr_total_us", "fr_ios"}}
+	for _, r := range rows {
+		out = append(out, []string{f(r.L), f(r.Varrho), us(r.PATotal), us(r.FRTotal), fmt.Sprint(r.FRIOs)})
+	}
+	return csv.NewWriter(w).WriteAll(out)
+}
+
+// CSVFig10b writes Fig. 10(b) rows as CSV (microseconds).
+func CSVFig10b(w io.Writer, rows []ScaleRow) error {
+	out := [][]string{{"n", "pa_total_us", "fr_total_us"}}
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.N), us(r.PATotal), us(r.FRTotal)})
+	}
+	return csv.NewWriter(w).WriteAll(out)
+}
+
+func f(v float64) string        { return fmt.Sprintf("%g", v) }
+func us(d time.Duration) string { return fmt.Sprint(d.Microseconds()) }

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PrintFig7 renders Fig. 7 rows.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\trects\tarea\tr_fp%\tr_fn%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f\t%.2f\n", r.Method, r.Rects, r.Area, r.RfpPct, r.RfnPct)
+	}
+	tw.Flush()
+}
+
+// PrintFig8Accuracy renders Fig. 8(a)/8(b) rows.
+func PrintFig8Accuracy(w io.Writer, rows []AccuracyRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "l\tvarrho\tPA r_fp%\tPA r_fn%\topt-DH r_fp%\tpess-DH r_fn%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.L, r.Varrho, r.PAfpPct, r.PAfnPct, r.DHOptPct, r.DHPessPct)
+	}
+	tw.Flush()
+}
+
+// PrintFig8Memory renders Fig. 8(c)/8(d) rows.
+func PrintFig8Memory(w io.Writer, rows []MemoryRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tconfig\tmemory MB\tr_fp%\tr_fn%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n", r.Method, r.Config, r.MemoryMB, r.RfpPct, r.RfnPct)
+	}
+	tw.Flush()
+}
+
+// PrintFig9a renders Fig. 9(a) rows.
+func PrintFig9a(w io.Writer, rows []QueryCPURow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "l\tvarrho\tPA CPU\tDH CPU")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%s\t%s\n", r.L, r.Varrho, fmtDur(r.PACPU), fmtDur(r.DHCPU))
+	}
+	tw.Flush()
+}
+
+// PrintFig9b renders Fig. 9(b) rows.
+func PrintFig9b(w io.Writer, rows []BuildCPURow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tCPU per location update")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\n", r.Method, r.PerUpdate)
+	}
+	tw.Flush()
+}
+
+// PrintFig10a renders Fig. 10(a) rows.
+func PrintFig10a(w io.Writer, rows []QueryCostRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "l\tvarrho\tPA total\tFR total\tFR IOs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%s\t%s\t%d\n", r.L, r.Varrho, fmtDur(r.PATotal), fmtDur(r.FRTotal), r.FRIOs)
+	}
+	tw.Flush()
+}
+
+// PrintFig10b renders Fig. 10(b) rows.
+func PrintFig10b(w io.Writer, rows []ScaleRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "N\tPA total\tFR total")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", r.N, fmtDur(r.PATotal), fmtDur(r.FRTotal))
+	}
+	tw.Flush()
+}
+
+// PrintAblation renders ablation rows.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ablation\tvariant\tmetric\tvalue")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name, r.Variant, r.Metric, r.Value)
+	}
+	tw.Flush()
+}

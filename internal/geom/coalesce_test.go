@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoalesceRows(t *testing.T) {
+	g := Region{
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 1, MinY: 0, MaxX: 2, MaxY: 1},
+		{MinX: 2, MinY: 0, MaxX: 3, MaxY: 1},
+	}
+	c := Coalesce(g)
+	if len(c) != 1 {
+		t.Fatalf("coalesced to %d rects, want 1", len(c))
+	}
+	if c[0] != (Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 1}) {
+		t.Errorf("coalesced rect %v", c[0])
+	}
+}
+
+func TestCoalesceColumns(t *testing.T) {
+	g := Region{
+		{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1},
+		{MinX: 0, MinY: 1, MaxX: 2, MaxY: 2},
+		{MinX: 0, MinY: 2, MaxX: 2, MaxY: 3},
+	}
+	c := Coalesce(g)
+	if len(c) != 1 {
+		t.Fatalf("coalesced to %d rects, want 1", len(c))
+	}
+	if got := c.Area(); got != 6 {
+		t.Errorf("area %g, want 6", got)
+	}
+}
+
+func TestCoalesceGrid(t *testing.T) {
+	// A full 4x4 grid of unit cells collapses to one rect.
+	var g Region
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			g.Add(Rect{MinX: float64(i), MinY: float64(j), MaxX: float64(i + 1), MaxY: float64(j + 1)})
+		}
+	}
+	c := Coalesce(g)
+	if len(c) != 1 {
+		t.Fatalf("grid coalesced to %d rects, want 1", len(c))
+	}
+	if got := c.Area(); got != 16 {
+		t.Errorf("area %g, want 16", got)
+	}
+}
+
+func TestCoalesceKeepsDisjoint(t *testing.T) {
+	g := Region{
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6},
+	}
+	if c := Coalesce(g); len(c) != 2 {
+		t.Fatalf("disjoint rects merged: %v", c)
+	}
+}
+
+func TestCoalesceDropsEmpty(t *testing.T) {
+	g := Region{
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 3, MinY: 3, MaxX: 3, MaxY: 9},
+	}
+	c := Coalesce(g)
+	if len(c) != 1 {
+		t.Fatalf("got %d rects, want 1", len(c))
+	}
+	if len(Coalesce(nil)) != 0 {
+		t.Error("nil region must coalesce to empty")
+	}
+}
+
+func TestQuickCoalescePreservesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a region from random cells of a grid (guaranteed
+		// non-overlapping, heavily mergeable).
+		var g Region
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				if rng.Intn(2) == 0 {
+					g.Add(Rect{MinX: float64(i), MinY: float64(j), MaxX: float64(i + 1), MaxY: float64(j + 1)})
+				}
+			}
+		}
+		c := Coalesce(g)
+		if len(c) > len(g) {
+			return false
+		}
+		if math.Abs(c.Area()-g.Area()) > 1e-9 {
+			return false
+		}
+		// Point-level equality on a sample.
+		for k := 0; k < 200; k++ {
+			p := Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			if g.Contains(p) != c.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCoalesce5000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var g Region
+	for i := 0; i < 5000; i++ {
+		x, y := float64(rng.Intn(100)), float64(rng.Intn(100))
+		g.Add(Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coalesce(append(Region(nil), g...))
+	}
+}
+
+func TestCoalesceOverlappingStillCovers(t *testing.T) {
+	// Overlapping inputs: Coalesce may not reach minimal form but coverage
+	// must be preserved.
+	g := Region{
+		{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3},
+		{MinX: 1, MinY: 1, MaxX: 4, MaxY: 4},
+		{MinX: 2, MinY: 0, MaxX: 5, MaxY: 3},
+	}
+	c := Coalesce(append(Region(nil), g...))
+	if math.Abs(c.Area()-g.Area()) > 1e-9 {
+		t.Fatalf("area changed: %g vs %g", c.Area(), g.Area())
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 500; k++ {
+		p := Point{X: rng.Float64() * 6, Y: rng.Float64() * 5}
+		if g.Contains(p) != c.Contains(p) {
+			t.Fatalf("coverage changed at %v", p)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOutlineAreaIdentity derives a rectangle set from fuzz bytes and checks
+// the outline invariants: net signed ring area equals the union area, and
+// every ring edge is axis-parallel and non-degenerate.
+func FuzzOutlineAreaIdentity(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 2, 1, 1, 3, 3})
+	f.Add([]byte{0, 0, 1, 1, 1, 1, 2, 2})       // corner pinch
+	f.Add([]byte{5, 5, 9, 9, 0, 0, 4, 4, 2, 2}) // disjoint + leftover byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Region
+		for i := 0; i+3 < len(data) && len(g) < 24; i += 4 {
+			x := float64(data[i] % 16)
+			y := float64(data[i+1] % 16)
+			w := float64(data[i+2]%7) + 0
+			h := float64(data[i+3]%7) + 0
+			g.Add(Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h})
+		}
+		rings := g.Outline()
+		var signed float64
+		for _, ring := range rings {
+			signed += RingArea(ring)
+			for i := range ring {
+				a, b := ring[i], ring[(i+1)%len(ring)]
+				if a == b {
+					t.Fatalf("degenerate edge in ring %v", ring)
+				}
+				if a.X != b.X && a.Y != b.Y {
+					t.Fatalf("diagonal edge %v -> %v", a, b)
+				}
+			}
+		}
+		if want := g.Area(); math.Abs(signed-want) > 1e-6*(1+want) {
+			t.Fatalf("signed ring area %g != union area %g (%d rects)", signed, want, len(g))
+		}
+		// Subtract identity on the same data: g \ g is empty.
+		if d := Subtract(g, g); d.Area() != 0 {
+			t.Fatalf("g \\ g has area %g", d.Area())
+		}
+	})
+}

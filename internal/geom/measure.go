@@ -1,0 +1,127 @@
+package geom
+
+import "sort"
+
+// UnionArea computes the exact area of the union of a set of half-open
+// rectangles (Klee's measure problem in two dimensions). It runs a vertical
+// sweep over the x-extents of the rectangles and maintains the total covered
+// y-length in a segment tree over the compressed y-coordinates, giving
+// O(n log n) time.
+func UnionArea(rects []Rect) float64 {
+	// Collect non-empty rectangles and compressed y-coordinates.
+	type event struct {
+		x      float64
+		y1, y2 int // compressed y index range [y1, y2)
+		delta  int // +1 open, -1 close
+	}
+	ys := make([]float64, 0, 2*len(rects))
+	n := 0
+	for _, r := range rects {
+		if r.IsEmpty() {
+			continue
+		}
+		ys = append(ys, r.MinY, r.MaxY)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(ys)
+	ys = dedupFloat64s(ys)
+
+	yIndex := func(v float64) int {
+		return sort.SearchFloat64s(ys, v)
+	}
+
+	events := make([]event, 0, 2*n)
+	for _, r := range rects {
+		if r.IsEmpty() {
+			continue
+		}
+		y1, y2 := yIndex(r.MinY), yIndex(r.MaxY)
+		events = append(events,
+			event{r.MinX, y1, y2, +1},
+			event{r.MaxX, y1, y2, -1},
+		)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].x < events[j].x })
+
+	st := newCoverTree(ys)
+	var area float64
+	prevX := events[0].x
+	for _, e := range events {
+		if e.x > prevX {
+			area += (e.x - prevX) * st.coveredLength()
+			prevX = e.x
+		}
+		st.update(e.y1, e.y2, e.delta)
+	}
+	return area
+}
+
+func dedupFloat64s(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// coverTree is a segment tree over the elementary intervals between
+// consecutive sorted y-coordinates. Each node tracks how many active
+// rectangles fully cover its interval (cover) and the total length of its
+// interval that is covered at least once (length). Because rectangles are
+// inserted and removed in balanced pairs, cover counts never go negative.
+type coverTree struct {
+	ys    []float64
+	cover []int
+	len   []float64
+}
+
+func newCoverTree(ys []float64) *coverTree {
+	m := len(ys) - 1 // number of elementary intervals
+	if m < 1 {
+		m = 1
+	}
+	return &coverTree{
+		ys:    ys,
+		cover: make([]int, 4*m),
+		len:   make([]float64, 4*m),
+	}
+}
+
+// update adds delta to the cover count of elementary intervals [l, r).
+func (t *coverTree) update(l, r, delta int) {
+	if l >= r {
+		return
+	}
+	t.updateNode(1, 0, len(t.ys)-1, l, r, delta)
+}
+
+func (t *coverTree) updateNode(node, nodeL, nodeR, l, r, delta int) {
+	if r <= nodeL || nodeR <= l {
+		return
+	}
+	if l <= nodeL && nodeR <= r {
+		t.cover[node] += delta
+	} else {
+		mid := (nodeL + nodeR) / 2
+		t.updateNode(2*node, nodeL, mid, l, r, delta)
+		t.updateNode(2*node+1, mid, nodeR, l, r, delta)
+	}
+	// Recompute covered length of this node.
+	switch {
+	case t.cover[node] > 0:
+		t.len[node] = t.ys[nodeR] - t.ys[nodeL]
+	case nodeR-nodeL == 1:
+		t.len[node] = 0
+	default:
+		t.len[node] = t.len[2*node] + t.len[2*node+1]
+	}
+}
+
+func (t *coverTree) coveredLength() float64 {
+	return t.len[1]
+}

@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionAreaBasic(t *testing.T) {
+	cases := []struct {
+		name  string
+		rects []Rect
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"single", []Rect{{0, 0, 2, 3}}, 6},
+		{"disjoint", []Rect{{0, 0, 1, 1}, {2, 2, 3, 3}}, 2},
+		{"identical", []Rect{{0, 0, 2, 2}, {0, 0, 2, 2}}, 4},
+		{"nested", []Rect{{0, 0, 10, 10}, {2, 2, 4, 4}}, 100},
+		{"overlap", []Rect{{0, 0, 2, 2}, {1, 1, 3, 3}}, 7},
+		{"touching", []Rect{{0, 0, 1, 1}, {1, 0, 2, 1}}, 2},
+		{"degenerate", []Rect{{0, 0, 0, 5}, {1, 1, 1, 1}}, 0},
+		{"cross", []Rect{{-1, -3, 1, 3}, {-3, -1, 3, 1}}, 12 + 12 - 4},
+	}
+	for _, c := range cases {
+		if got := UnionArea(c.rects); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: UnionArea = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+// naiveUnionArea computes union area by coordinate compression over all
+// elementary cells — an O(n^3)-ish oracle for small inputs.
+func naiveUnionArea(rects []Rect) float64 {
+	var xs, ys []float64
+	for _, r := range rects {
+		if r.IsEmpty() {
+			continue
+		}
+		xs = append(xs, r.MinX, r.MaxX)
+		ys = append(ys, r.MinY, r.MaxY)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sortFloats := func(s []float64) []float64 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return dedupFloat64s(s)
+	}
+	xs, ys = sortFloats(xs), sortFloats(ys)
+	var area float64
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			cx, cy := (xs[i]+xs[i+1])/2, (ys[j]+ys[j+1])/2
+			for _, r := range rects {
+				if r.Contains(Point{cx, cy}) {
+					area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return area
+}
+
+func TestQuickUnionAreaMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		rects := make([]Rect, n)
+		for i := range rects {
+			rects[i] = quickRect(rng)
+		}
+		fast, slow := UnionArea(rects), naiveUnionArea(rects)
+		return math.Abs(fast-slow) < 1e-6*(1+slow)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAreaMonotone(t *testing.T) {
+	// Adding a rectangle never decreases union area, and increases it by at
+	// most the rectangle's own area.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		rects := make([]Rect, n)
+		for i := range rects {
+			rects[i] = quickRect(rng)
+		}
+		extra := quickRect(rng)
+		before := UnionArea(rects)
+		after := UnionArea(append(rects, extra))
+		return after >= before-1e-9 && after <= before+extra.Area()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionSetOps(t *testing.T) {
+	a := Region{{0, 0, 4, 4}}
+	b := Region{{2, 0, 6, 4}}
+	if got := a.IntersectionArea(b); math.Abs(got-8) > 1e-9 {
+		t.Errorf("IntersectionArea = %g, want 8", got)
+	}
+	if got := a.DifferenceArea(b); math.Abs(got-8) > 1e-9 {
+		t.Errorf("DifferenceArea = %g, want 8", got)
+	}
+	if got := b.DifferenceArea(a); math.Abs(got-8) > 1e-9 {
+		t.Errorf("DifferenceArea = %g, want 8", got)
+	}
+	// Difference with self is zero.
+	if got := a.DifferenceArea(a); got != 0 {
+		t.Errorf("DifferenceArea(a,a) = %g, want 0", got)
+	}
+}
+
+func TestQuickRegionInclusionExclusion(t *testing.T) {
+	// area(A) = area(A \ B) + area(A intersect B) for rect-union regions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Region {
+			n := 1 + rng.Intn(6)
+			g := make(Region, n)
+			for i := range g {
+				g[i] = quickRect(rng)
+			}
+			return g
+		}
+		a, b := mk(), mk()
+		lhs := a.Area()
+		rhs := a.DifferenceArea(b) + a.IntersectionArea(b)
+		return math.Abs(lhs-rhs) < 1e-6*(1+lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionArea1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	rects := make([]Rect, 1000)
+	for i := range rects {
+		rects[i] = quickRect(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionArea(rects)
+	}
+}

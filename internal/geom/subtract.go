@@ -1,0 +1,47 @@
+package geom
+
+// SubtractRect returns r \ s as up to four disjoint rectangles.
+func SubtractRect(r, s Rect) Region {
+	if r.IsEmpty() {
+		return nil
+	}
+	ov := r.Intersect(s)
+	if ov.IsEmpty() {
+		return Region{r}
+	}
+	if ov == r {
+		return nil
+	}
+	var out Region
+	// Bottom band.
+	out.Add(Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: ov.MinY})
+	// Top band.
+	out.Add(Rect{MinX: r.MinX, MinY: ov.MaxY, MaxX: r.MaxX, MaxY: r.MaxY})
+	// Left and right slivers of the middle band.
+	out.Add(Rect{MinX: r.MinX, MinY: ov.MinY, MaxX: ov.MinX, MaxY: ov.MaxY})
+	out.Add(Rect{MinX: ov.MaxX, MinY: ov.MinY, MaxX: r.MaxX, MaxY: ov.MaxY})
+	return out
+}
+
+// Subtract returns a region covering exactly the points of g not covered by
+// h. The result is built by iterated rectangle subtraction and compacted
+// with Coalesce; it is exact under the half-open convention.
+func Subtract(g, h Region) Region {
+	pieces := make(Region, 0, len(g))
+	for _, r := range g {
+		if !r.IsEmpty() {
+			pieces = append(pieces, r)
+		}
+	}
+	for _, b := range h {
+		if b.IsEmpty() || len(pieces) == 0 {
+			continue
+		}
+		next := make(Region, 0, len(pieces))
+		for _, p := range pieces {
+			next = append(next, SubtractRect(p, b)...)
+		}
+		pieces = next
+	}
+	return Coalesce(pieces)
+}

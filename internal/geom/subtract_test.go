@@ -1,0 +1,89 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtractRectCases(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}
+	cases := []struct {
+		name     string
+		s        Rect
+		wantArea float64
+	}{
+		{"disjoint", Rect{MinX: 10, MinY: 10, MaxX: 12, MaxY: 12}, 16},
+		{"covering", Rect{MinX: -1, MinY: -1, MaxX: 5, MaxY: 5}, 0},
+		{"center hole", Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, 12},
+		{"left half", Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 4}, 8},
+		{"corner", Rect{MinX: 3, MinY: 3, MaxX: 5, MaxY: 5}, 15},
+		{"identical", r, 0},
+	}
+	for _, c := range cases {
+		got := SubtractRect(r, c.s)
+		if a := got.Area(); math.Abs(a-c.wantArea) > 1e-9 {
+			t.Errorf("%s: area %g, want %g", c.name, a, c.wantArea)
+		}
+		// Pieces must be disjoint: union area equals summed areas.
+		var sum float64
+		for _, p := range got {
+			sum += p.Area()
+		}
+		if math.Abs(sum-got.Area()) > 1e-9 {
+			t.Errorf("%s: pieces overlap (sum %g, union %g)", c.name, sum, got.Area())
+		}
+	}
+}
+
+func TestSubtractRegions(t *testing.T) {
+	g := Region{{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	h := Region{
+		{MinX: 0, MinY: 0, MaxX: 5, MaxY: 10},
+		{MinX: 5, MinY: 0, MaxX: 10, MaxY: 5},
+	}
+	got := Subtract(g, h)
+	want := Rect{MinX: 5, MinY: 5, MaxX: 10, MaxY: 10}
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("Subtract = %v, want [%v]", got, want)
+	}
+	if len(Subtract(nil, h)) != 0 {
+		t.Error("empty minuend must stay empty")
+	}
+	if got := Subtract(g, nil); math.Abs(got.Area()-100) > 1e-9 {
+		t.Error("empty subtrahend must keep g")
+	}
+}
+
+func TestQuickSubtractSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) Region {
+			g := make(Region, n)
+			for i := range g {
+				x, y := rng.Float64()*20, rng.Float64()*20
+				g[i] = Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*8, MaxY: y + rng.Float64()*8}
+			}
+			return g
+		}
+		g, h := mk(1+rng.Intn(5)), mk(1+rng.Intn(5))
+		d := Subtract(g, h)
+		// Area identity.
+		if math.Abs(d.Area()-g.DifferenceArea(h)) > 1e-6 {
+			return false
+		}
+		// Point-level semantics on samples.
+		for k := 0; k < 150; k++ {
+			p := Point{X: rng.Float64() * 28, Y: rng.Float64() * 28}
+			want := g.Contains(p) && !h.Contains(p)
+			if d.Contains(p) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package gridindex implements a paged uniform-grid index over predicted
+// object movements — a SETI/LUGrid-style alternative to the TPR-tree for
+// the refinement step's timestamp range queries.
+//
+// Objects are bucketed by their position at their own reference time; a
+// query at future time qt conservatively expands each cell by the maximum
+// observed speed times the cell's entry age before testing overlap, then
+// verifies candidates exactly. Buckets are page chains drawn from the same
+// buffer pool as the TPR-tree, so I/O comparisons between the two access
+// methods are like for like.
+package gridindex
+
+import (
+	"fmt"
+	"math"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+const (
+	headerBytes = 24
+	entryBytes  = 8 + 8 + 4*8 // id + ref + position + velocity
+)
+
+// Config parameterizes the index.
+type Config struct {
+	// Pool backs the bucket pages. Required.
+	Pool *storage.Pool
+	// Area is the indexed plane.
+	Area geom.Rect
+	// M is the per-axis bucket count.
+	M int
+	// PageSize in bytes sets the bucket page capacity (default 4 KB).
+	PageSize int
+}
+
+// page is one bucket page: a slice of movement states.
+type page struct {
+	entries []motion.State
+}
+
+// cell is one bucket: a page chain plus conservative metadata.
+type cell struct {
+	pages  []storage.PageID
+	count  int
+	minRef motion.Tick // lower bound on the reference times of entries
+}
+
+// Index is a paged uniform-grid access method. Not safe for concurrent use.
+type Index struct {
+	pool    *storage.Pool
+	area    geom.Rect
+	m       int
+	cellW   float64
+	cellH   float64
+	perPage int
+	now     motion.Tick
+	size    int
+	vmax    float64 // max |velocity component| ever inserted
+	cells   []cell
+}
+
+// New creates an empty grid index.
+func New(cfg Config) (*Index, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("gridindex: nil pool")
+	}
+	if cfg.Area.IsEmpty() {
+		return nil, fmt.Errorf("gridindex: empty area")
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("gridindex: M must be >= 1, got %d", cfg.M)
+	}
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = storage.DefaultPageSize
+	}
+	perPage := (ps - headerBytes) / entryBytes
+	if perPage < 1 {
+		return nil, fmt.Errorf("gridindex: page size %d too small", ps)
+	}
+	g := &Index{
+		pool:    cfg.Pool,
+		area:    cfg.Area,
+		m:       cfg.M,
+		cellW:   cfg.Area.Width() / float64(cfg.M),
+		cellH:   cfg.Area.Height() / float64(cfg.M),
+		perPage: perPage,
+		cells:   make([]cell, cfg.M*cfg.M),
+	}
+	for i := range g.cells {
+		g.cells[i].minRef = math.MaxInt64
+	}
+	return g, nil
+}
+
+// Len returns the number of indexed movements.
+func (g *Index) Len() int { return g.size }
+
+// Now returns the index's current time anchor.
+func (g *Index) Now() motion.Tick { return g.now }
+
+// SetNow advances the index's notion of current time (monotone).
+func (g *Index) SetNow(now motion.Tick) {
+	if now > g.now {
+		g.now = now
+	}
+}
+
+func (g *Index) cellIdx(p geom.Point) int {
+	i := int((p.X - g.area.MinX) / g.cellW)
+	j := int((p.Y - g.area.MinY) / g.cellH)
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.m {
+		i = g.m - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.m {
+		j = g.m - 1
+	}
+	return i*g.m + j
+}
+
+func (g *Index) cellRect(idx int) geom.Rect {
+	i, j := idx/g.m, idx%g.m
+	return geom.Rect{
+		MinX: g.area.MinX + float64(i)*g.cellW,
+		MinY: g.area.MinY + float64(j)*g.cellH,
+		MaxX: g.area.MinX + float64(i+1)*g.cellW,
+		MaxY: g.area.MinY + float64(j+1)*g.cellH,
+	}
+}
+
+func (g *Index) readPage(id storage.PageID) *page {
+	v, err := g.pool.Read(id)
+	if err != nil {
+		panic("gridindex: " + err.Error()) // structural corruption
+	}
+	return v.(*page)
+}
+
+func (g *Index) writePage(id storage.PageID, p *page) {
+	if err := g.pool.Write(id, p); err != nil {
+		panic("gridindex: " + err.Error())
+	}
+}
+
+// Insert indexes the movement s in the bucket of its reference position.
+func (g *Index) Insert(s motion.State) {
+	c := &g.cells[g.cellIdx(s.Pos)]
+	if v := math.Max(math.Abs(s.Vel.X), math.Abs(s.Vel.Y)); v > g.vmax {
+		g.vmax = v
+	}
+	if s.Ref < c.minRef {
+		c.minRef = s.Ref
+	}
+	// Append to the last page with space, else start a new page.
+	if n := len(c.pages); n > 0 {
+		last := c.pages[n-1]
+		pg := g.readPage(last)
+		if len(pg.entries) < g.perPage {
+			pg.entries = append(pg.entries, s)
+			g.writePage(last, pg)
+			c.count++
+			g.size++
+			return
+		}
+	}
+	id := g.pool.Alloc()
+	g.writePage(id, &page{entries: []motion.State{s}})
+	c.pages = append(c.pages, id)
+	c.count++
+	g.size++
+}
+
+// Delete removes the movement s (matched exactly as inserted), reporting
+// whether it was found.
+func (g *Index) Delete(s motion.State) bool {
+	c := &g.cells[g.cellIdx(s.Pos)]
+	for pi, id := range c.pages {
+		pg := g.readPage(id)
+		for ei, e := range pg.entries {
+			if e.ID != s.ID || e != s {
+				continue
+			}
+			pg.entries = append(pg.entries[:ei], pg.entries[ei+1:]...)
+			c.count--
+			g.size--
+			if len(pg.entries) == 0 {
+				g.pool.Free(id)
+				c.pages = append(c.pages[:pi], c.pages[pi+1:]...)
+			} else {
+				g.writePage(id, pg)
+			}
+			if c.count == 0 {
+				c.minRef = math.MaxInt64 // reset the age bound
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Search visits every movement whose predicted position at qt lies in r
+// (closed containment), mirroring the TPR-tree's Search contract. fn
+// returning false stops the search.
+func (g *Index) Search(r geom.Rect, qt motion.Tick, fn func(motion.State) bool) {
+	for idx := range g.cells {
+		c := &g.cells[idx]
+		if c.count == 0 {
+			continue
+		}
+		// Conservative reach: an entry anchored at ref can have moved at
+		// most vmax*(qt-ref) from its bucket position by qt.
+		age := qt - c.minRef
+		if age < 0 {
+			age = 0
+		}
+		reach := g.vmax * float64(age)
+		if !overlapsClosed(g.cellRect(idx).Grow(reach), r) {
+			continue
+		}
+		for _, id := range c.pages {
+			pg := g.readPage(id)
+			for _, e := range pg.entries {
+				if r.ContainsClosed(e.PositionAt(qt)) {
+					if !fn(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// overlapsClosed tests rectangle overlap treating both as closed sets.
+func overlapsClosed(a, b geom.Rect) bool {
+	return a.MinX <= b.MaxX && a.MaxX >= b.MinX && a.MinY <= b.MaxY && a.MaxY >= b.MinY
+}
+
+// RangeQuery collects Search results.
+func (g *Index) RangeQuery(r geom.Rect, qt motion.Tick) []motion.State {
+	var out []motion.State
+	g.Search(r, qt, func(s motion.State) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// All returns every indexed movement.
+func (g *Index) All() []motion.State {
+	out := make([]motion.State, 0, g.size)
+	for idx := range g.cells {
+		for _, id := range g.cells[idx].pages {
+			out = append(out, g.readPage(id).entries...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package gridindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+func newIndex(t *testing.T) *Index {
+	t.Helper()
+	g, err := New(Config{
+		Pool: storage.NewPool(0),
+		Area: geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		M:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomState(rng *rand.Rand, id int, ref motion.Tick) motion.State {
+	return motion.State{
+		ID:  motion.ObjectID(id),
+		Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+		Vel: geom.Vec{X: rng.Float64()*3 - 1.5, Y: rng.Float64()*3 - 1.5},
+		Ref: ref,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	if _, err := New(Config{Area: area, M: 4}); err == nil {
+		t.Error("nil pool must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), M: 4}); err == nil {
+		t.Error("empty area must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), Area: area, M: 0}); err == nil {
+		t.Error("M=0 must be rejected")
+	}
+	if _, err := New(Config{Pool: storage.NewPool(0), Area: area, M: 4, PageSize: 16}); err == nil {
+		t.Error("tiny page must be rejected")
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	g := newIndex(t)
+	rng := rand.New(rand.NewSource(1))
+	const n = 3000
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, motion.Tick(rng.Intn(10)))
+		g.Insert(states[i])
+	}
+	g.SetNow(10)
+	if g.Len() != n {
+		t.Fatalf("Len = %d, want %d", g.Len(), n)
+	}
+	for trial := 0; trial < 40; trial++ {
+		qt := motion.Tick(10 + rng.Intn(90))
+		r := geom.Rect{MinX: rng.Float64() * 800, MinY: rng.Float64() * 800}
+		r.MaxX = r.MinX + 50 + rng.Float64()*200
+		r.MaxY = r.MinY + 50 + rng.Float64()*200
+		var want, got []int
+		for _, s := range states {
+			if r.ContainsClosed(s.PositionAt(qt)) {
+				want = append(want, int(s.ID))
+			}
+		}
+		for _, s := range g.RangeQuery(r, qt) {
+			got = append(got, int(s.ID))
+		}
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d qt=%d: got %d results, want %d", trial, qt, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: result mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDeleteAndEmptyCells(t *testing.T) {
+	g := newIndex(t)
+	rng := rand.New(rand.NewSource(2))
+	const n = 1000
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, 0)
+		g.Insert(states[i])
+	}
+	for _, i := range rng.Perm(n) {
+		if !g.Delete(states[i]) {
+			t.Fatalf("Delete(%d) failed", states[i].ID)
+		}
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", g.Len())
+	}
+	if g.pool.NumPages() != 0 {
+		t.Fatalf("%d pages leaked", g.pool.NumPages())
+	}
+	if g.Delete(states[0]) {
+		t.Error("double delete succeeded")
+	}
+	if got := g.All(); len(got) != 0 {
+		t.Fatalf("All returned %d entries from empty index", len(got))
+	}
+}
+
+func TestPageChains(t *testing.T) {
+	// Cram many objects into one bucket so page chains grow and shrink.
+	g := newIndex(t)
+	var states []motion.State
+	for i := 0; i < 500; i++ {
+		s := motion.State{
+			ID:  motion.ObjectID(i),
+			Pos: geom.Point{X: 10 + float64(i)*0.01, Y: 10},
+			Ref: 0,
+		}
+		states = append(states, s)
+		g.Insert(s)
+	}
+	// All in one cell: chain length = ceil(500/perPage).
+	c := g.cells[g.cellIdx(states[0].Pos)]
+	wantPages := (500 + g.perPage - 1) / g.perPage
+	if len(c.pages) != wantPages {
+		t.Fatalf("chain has %d pages, want %d (perPage=%d)", len(c.pages), wantPages, g.perPage)
+	}
+	// Query finds all of them.
+	got := g.RangeQuery(geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}, 0)
+	if len(got) != 500 {
+		t.Fatalf("query found %d, want 500", len(got))
+	}
+	// Deletions shrink the chain.
+	for _, s := range states {
+		if !g.Delete(s) {
+			t.Fatalf("Delete(%d) failed", s.ID)
+		}
+	}
+	if got := len(g.cells[g.cellIdx(states[0].Pos)].pages); got != 0 {
+		t.Fatalf("chain still has %d pages after deleting all", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	g := newIndex(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		g.Insert(randomState(rng, i, 0))
+	}
+	visits := 0
+	g.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 0, func(motion.State) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("early stop visited %d, want 5", visits)
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	pool := storage.NewPool(2)
+	g, err := New(Config{Pool: pool, Area: geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		g.Insert(randomState(rng, i, 0))
+	}
+	pool.ResetStats()
+	g.RangeQuery(geom.Rect{MinX: 0, MinY: 0, MaxX: 500, MaxY: 500}, 30)
+	if pool.Stats().Reads == 0 {
+		t.Error("query over a tiny buffer must incur physical reads")
+	}
+}
+
+func TestFastMoverReachability(t *testing.T) {
+	// A single very fast object must still be found far from its bucket at
+	// future timestamps (the vmax expansion).
+	g := newIndex(t)
+	s := motion.State{ID: 1, Pos: geom.Point{X: 10, Y: 500}, Vel: geom.Vec{X: 9, Y: 0}, Ref: 0}
+	g.Insert(s)
+	got := g.RangeQuery(geom.Rect{MinX: 890, MinY: 490, MaxX: 920, MaxY: 510}, 100)
+	if len(got) != 1 {
+		t.Fatalf("fast mover not found at qt=100: got %d results", len(got))
+	}
+}

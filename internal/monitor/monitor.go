@@ -1,0 +1,141 @@
+// Package monitor runs standing (continuous) PDR queries over the engine:
+// a registered query is re-evaluated as server time advances, and
+// subscribers receive the *changes* — regions that became dense and regions
+// that stopped being dense — rather than full answers. This is the
+// continuous-query layer the paper's traffic-management motivation implies
+// (watch for congestion forming, alert when it appears or dissolves).
+package monitor
+
+import (
+	"fmt"
+
+	"pdr/internal/core"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// ContinuousQuery is a standing PDR query: every Every ticks the monitor
+// answers (Rho, L, now+Ahead) with Method and diffs it against the previous
+// answer.
+type ContinuousQuery struct {
+	Rho    float64
+	L      float64
+	Ahead  motion.Tick // forecast distance (0 = current time)
+	Every  motion.Tick // re-evaluation period (1 = every tick)
+	Method core.Method
+}
+
+// Event is one change notification.
+type Event struct {
+	// SubID identifies the subscription.
+	SubID int
+	// At is the evaluation time (server now); Target = At + Ahead is the
+	// forecast timestamp the region refers to.
+	At, Target motion.Tick
+	// Region is the full current answer.
+	Region geom.Region
+	// Added covers points that are dense now but were not in the previous
+	// evaluation; Removed covers the opposite.
+	Added, Removed geom.Region
+	// First marks the initial evaluation (Added is the whole region).
+	First bool
+}
+
+// Changed reports whether the event carries any change.
+func (e Event) Changed() bool { return len(e.Added) > 0 || len(e.Removed) > 0 }
+
+type sub struct {
+	id      int
+	q       ContinuousQuery
+	lastRun motion.Tick
+	ran     bool
+	prev    geom.Region
+}
+
+// Monitor evaluates standing queries against a server. It is not safe for
+// concurrent use (same discipline as the engine).
+type Monitor struct {
+	srv    *core.Server
+	nextID int
+	subs   map[int]*sub
+}
+
+// New creates a monitor over srv.
+func New(srv *core.Server) *Monitor {
+	return &Monitor{srv: srv, subs: make(map[int]*sub)}
+}
+
+// Register adds a standing query and returns its subscription id.
+func (m *Monitor) Register(q ContinuousQuery) (int, error) {
+	if q.Rho < 0 || q.L <= 0 {
+		return 0, fmt.Errorf("monitor: bad query parameters rho=%g l=%g", q.Rho, q.L)
+	}
+	if q.Ahead < 0 || q.Ahead > m.srv.Config().W {
+		return 0, fmt.Errorf("monitor: forecast distance %d outside [0, W=%d]", q.Ahead, m.srv.Config().W)
+	}
+	if q.Every <= 0 {
+		q.Every = 1
+	}
+	m.nextID++
+	m.subs[m.nextID] = &sub{id: m.nextID, q: q}
+	return m.nextID, nil
+}
+
+// Unregister removes a subscription, reporting whether it existed.
+func (m *Monitor) Unregister(id int) bool {
+	if _, ok := m.subs[id]; !ok {
+		return false
+	}
+	delete(m.subs, id)
+	return true
+}
+
+// NumSubscriptions returns the number of active standing queries.
+func (m *Monitor) NumSubscriptions() int { return len(m.subs) }
+
+// Advance forwards the tick to the server, then re-evaluates every due
+// standing query and returns the resulting events in subscription order.
+func (m *Monitor) Advance(now motion.Tick, updates []motion.Update) ([]Event, error) {
+	if err := m.srv.Tick(now, updates); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for id := 1; id <= m.nextID; id++ {
+		s, ok := m.subs[id]
+		if !ok {
+			continue
+		}
+		if s.ran && now-s.lastRun < s.q.Every {
+			continue
+		}
+		ev, err := m.evaluate(s, now)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func (m *Monitor) evaluate(s *sub, now motion.Tick) (Event, error) {
+	target := now + s.q.Ahead
+	res, err := m.srv.Snapshot(core.Query{Rho: s.q.Rho, L: s.q.L, At: target}, s.q.Method)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{
+		SubID: s.id, At: now, Target: target,
+		Region: res.Region,
+		First:  !s.ran,
+	}
+	if s.ran {
+		ev.Added = geom.Subtract(res.Region, s.prev)
+		ev.Removed = geom.Subtract(s.prev, res.Region)
+	} else {
+		ev.Added = res.Region
+	}
+	s.prev = res.Region
+	s.lastRun = now
+	s.ran = true
+	return ev, nil
+}

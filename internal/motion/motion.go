@@ -1,0 +1,80 @@
+// Package motion defines the linear motion model for moving objects and the
+// location-update records exchanged between objects and the server, exactly
+// as assumed by the PDR paper (Sec. 4): each object is a point that reports
+// its current location and velocity, and its predicted position at time
+// t >= tref is pos + (t - tref) * vel.
+//
+// Time is discrete: the system advances in integer ticks. All per-timestamp
+// summary structures (density histograms, Chebyshev surfaces) are maintained
+// for every tick in the horizon [tnow, tnow+H].
+package motion
+
+import "pdr/internal/geom"
+
+// Tick is a discrete timestamp.
+type Tick int64
+
+// ObjectID identifies a moving object.
+type ObjectID uint64
+
+// State is the motion state of one object: at time Ref it was at Pos moving
+// with velocity Vel (distance units per tick).
+type State struct {
+	ID  ObjectID
+	Pos geom.Point
+	Vel geom.Vec
+	Ref Tick
+}
+
+// PositionAt returns the predicted position of the object at time t under
+// the linear motion model. t may precede Ref, in which case the motion is
+// extrapolated backwards.
+func (s State) PositionAt(t Tick) geom.Point {
+	dt := float64(t - s.Ref)
+	return geom.Point{X: s.Pos.X + dt*s.Vel.X, Y: s.Pos.Y + dt*s.Vel.Y}
+}
+
+// UpdateKind distinguishes insertions from deletions in the update stream.
+type UpdateKind uint8
+
+const (
+	// Insert registers a new movement that starts at Update.State.Ref.
+	Insert UpdateKind = iota
+	// Delete removes a previously inserted movement (same State values as
+	// the matching Insert).
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k UpdateKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Update is one element of the location-update stream. A location report at
+// time tnow from an object that is already known is modelled, as in the
+// paper, as a Delete of the stale movement followed by an Insert of the new
+// one; both carry At = tnow, the server time at which they are applied.
+type Update struct {
+	Kind  UpdateKind
+	State State
+	At    Tick
+}
+
+// NewInsert builds an insertion update applied at the state's own reference
+// time.
+func NewInsert(s State) Update {
+	return Update{Kind: Insert, State: s, At: s.Ref}
+}
+
+// NewDelete builds a deletion update for the stale movement old, applied at
+// server time now.
+func NewDelete(old State, now Tick) Update {
+	return Update{Kind: Delete, State: old, At: now}
+}

@@ -1,0 +1,63 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdr/internal/geom"
+)
+
+func TestPositionAt(t *testing.T) {
+	s := State{ID: 1, Pos: geom.Point{X: 10, Y: 20}, Vel: geom.Vec{X: 1, Y: -2}, Ref: 100}
+	cases := []struct {
+		t    Tick
+		want geom.Point
+	}{
+		{100, geom.Point{X: 10, Y: 20}},
+		{101, geom.Point{X: 11, Y: 18}},
+		{110, geom.Point{X: 20, Y: 0}},
+		{99, geom.Point{X: 9, Y: 22}}, // backwards extrapolation
+	}
+	for _, c := range cases {
+		if got := s.PositionAt(c.t); got != c.want {
+			t.Errorf("PositionAt(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestQuickMotionComposition(t *testing.T) {
+	// Moving dt1 then re-anchoring and moving dt2 equals moving dt1+dt2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := State{
+			Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Vel: geom.Vec{X: rng.Float64()*4 - 2, Y: rng.Float64()*4 - 2},
+			Ref: Tick(rng.Intn(1000)),
+		}
+		dt1, dt2 := Tick(rng.Intn(100)), Tick(rng.Intn(100))
+		mid := State{Pos: s.PositionAt(s.Ref + dt1), Vel: s.Vel, Ref: s.Ref + dt1}
+		a := s.PositionAt(s.Ref + dt1 + dt2)
+		b := mid.PositionAt(mid.Ref + dt2)
+		return math.Abs(a.X-b.X) < 1e-6 && math.Abs(a.Y-b.Y) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateConstructors(t *testing.T) {
+	s := State{ID: 7, Pos: geom.Point{X: 1, Y: 2}, Vel: geom.Vec{X: 3, Y: 4}, Ref: 50}
+	ins := NewInsert(s)
+	if ins.Kind != Insert || ins.At != 50 || ins.State != s {
+		t.Errorf("NewInsert = %+v", ins)
+	}
+	del := NewDelete(s, 60)
+	if del.Kind != Delete || del.At != 60 || del.State != s {
+		t.Errorf("NewDelete = %+v", del)
+	}
+	if Insert.String() != "insert" || Delete.String() != "delete" || UpdateKind(9).String() != "unknown" {
+		t.Error("UpdateKind.String mismatch")
+	}
+}

@@ -1,0 +1,254 @@
+// Package pa implements the PDR paper's approximation method (Sec. 6): the
+// point-density function over the plane is maintained, for every timestamp
+// in the horizon, as a grid of local two-dimensional Chebyshev series. A
+// location update adjusts the coefficients of the overlapped surfaces in
+// closed form (Lemma 4) — no object data is consulted at query time — and a
+// PDR query extracts the region where the approximated density meets the
+// threshold by branch-and-bound over the series' interval bounds
+// (Sec. 6.3), falling back to center evaluation below the resolution floor.
+//
+// Unlike the exact filtering-refinement method, the approximation assumes
+// the neighborhood edge l is fixed in advance (paper Sec. 6).
+package pa
+
+import (
+	"fmt"
+
+	"pdr/internal/cheb"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// Config parameterizes a density surface.
+type Config struct {
+	// Area is the indexed plane.
+	Area geom.Rect
+	// G is the per-axis count of local polynomials (G x G cells; the paper
+	// uses a single global polynomial or 100-1600 local ones).
+	G int
+	// Degree is the total degree k of each Chebyshev series (paper: 3-5).
+	Degree int
+	// Horizon is H = U + W in ticks.
+	Horizon motion.Tick
+	// L is the fixed neighborhood edge length the surface is built for.
+	L float64
+	// MD is the per-axis resolution floor of query evaluation: recursion
+	// stops and evaluates centers once a box is smaller than Area/MD
+	// (paper's m_d x m_d evaluation grid).
+	MD int
+}
+
+// Surface maintains the per-timestamp Chebyshev density approximations.
+type Surface struct {
+	cfg    Config
+	cellW  float64
+	cellH  float64
+	base   motion.Tick
+	filled bool
+	// slots[t mod (H+1)][gy*G+gx] is the series for polynomial cell
+	// (gx, gy) at absolute time t.
+	slots [][]*cheb.Series2D
+}
+
+// New creates an all-zero surface.
+func New(cfg Config) (*Surface, error) {
+	if cfg.Area.IsEmpty() {
+		return nil, fmt.Errorf("pa: empty area")
+	}
+	if cfg.G < 1 {
+		return nil, fmt.Errorf("pa: G must be >= 1, got %d", cfg.G)
+	}
+	if cfg.Degree < 1 {
+		return nil, fmt.Errorf("pa: degree must be >= 1, got %d", cfg.Degree)
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("pa: negative horizon %d", cfg.Horizon)
+	}
+	if cfg.L <= 0 {
+		return nil, fmt.Errorf("pa: L must be positive, got %g", cfg.L)
+	}
+	if cfg.MD < cfg.G {
+		cfg.MD = cfg.G * 8 // sensible default: 8x8 floor per polynomial cell
+	}
+	s := &Surface{
+		cfg:   cfg,
+		cellW: cfg.Area.Width() / float64(cfg.G),
+		cellH: cfg.Area.Height() / float64(cfg.G),
+		slots: make([][]*cheb.Series2D, cfg.Horizon+1),
+	}
+	for t := range s.slots {
+		s.slots[t] = make([]*cheb.Series2D, cfg.G*cfg.G)
+		for c := range s.slots[t] {
+			series, err := cheb.NewSeries2D(cfg.Degree)
+			if err != nil {
+				return nil, err
+			}
+			s.slots[t][c] = series
+		}
+	}
+	return s, nil
+}
+
+// L returns the fixed neighborhood edge the surface approximates.
+func (s *Surface) L() float64 { return s.cfg.L }
+
+// Horizon returns H.
+func (s *Surface) Horizon() motion.Tick { return s.cfg.Horizon }
+
+// Now returns the first maintained timestamp.
+func (s *Surface) Now() motion.Tick { return s.base }
+
+// MemoryBytes returns the coefficient storage footprint: the paper's
+// H * g^2 * (k+1)(k+2)/2 doubles.
+func (s *Surface) MemoryBytes() int {
+	return len(s.slots) * s.cfg.G * s.cfg.G * cheb.NumCoeffs(s.cfg.Degree) * 8
+}
+
+func (s *Surface) slot(t motion.Tick) []*cheb.Series2D {
+	n := motion.Tick(len(s.slots))
+	return s.slots[((t%n)+n)%n]
+}
+
+// Advance moves the maintained window to [now, now+H], zeroing surfaces
+// that rotate in. It never moves backwards.
+func (s *Surface) Advance(now motion.Tick) {
+	if !s.filled {
+		s.base = now
+		s.filled = true
+		return
+	}
+	if now <= s.base {
+		return
+	}
+	from, to := s.base+s.cfg.Horizon+1, now+s.cfg.Horizon
+	if to-from >= motion.Tick(len(s.slots)) {
+		from = to - motion.Tick(len(s.slots)) + 1
+	}
+	for t := from; t <= to; t++ {
+		for _, series := range s.slot(t) {
+			series.Reset()
+		}
+	}
+	s.base = now
+}
+
+// cellRect returns the world rectangle of polynomial cell (gx, gy).
+func (s *Surface) cellRect(gx, gy int) geom.Rect {
+	return geom.Rect{
+		MinX: s.cfg.Area.MinX + float64(gx)*s.cellW,
+		MinY: s.cfg.Area.MinY + float64(gy)*s.cellH,
+		MaxX: s.cfg.Area.MinX + float64(gx+1)*s.cellW,
+		MaxY: s.cfg.Area.MinY + float64(gy+1)*s.cellH,
+	}
+}
+
+// cellOf returns the polynomial cell containing p, clamped to the grid.
+func (s *Surface) cellOf(p geom.Point) (int, int) {
+	gx := int((p.X - s.cfg.Area.MinX) / s.cellW)
+	gy := int((p.Y - s.cfg.Area.MinY) / s.cellH)
+	return clampInt(gx, 0, s.cfg.G-1), clampInt(gy, 0, s.cfg.G-1)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Insert adds the movement's density contribution (1/l^2 over the l-square
+// around each predicted position) to every maintained timestamp in
+// [s.Ref, s.Ref+H].
+func (s *Surface) Insert(st motion.State) {
+	s.apply(st, st.Ref, 1/(s.cfg.L*s.cfg.L))
+}
+
+// Delete removes a stale movement's remaining contribution from [at,
+// st.Ref+H].
+func (s *Surface) Delete(st motion.State, at motion.Tick) {
+	s.applyFrom(st, at, -1/(s.cfg.L*s.cfg.L))
+}
+
+// Apply dispatches an update record.
+func (s *Surface) Apply(u motion.Update) {
+	switch u.Kind {
+	case motion.Insert:
+		s.Insert(u.State)
+	case motion.Delete:
+		s.Delete(u.State, u.At)
+	}
+}
+
+func (s *Surface) apply(st motion.State, from motion.Tick, delta float64) {
+	if !s.filled {
+		s.base = from
+		s.filled = true
+	}
+	s.applyFrom(st, from, delta)
+}
+
+func (s *Surface) applyFrom(st motion.State, from motion.Tick, delta float64) {
+	lo, hi := from, st.Ref+s.cfg.Horizon
+	if lo < s.base {
+		lo = s.base
+	}
+	if hi > s.base+s.cfg.Horizon {
+		hi = s.base + s.cfg.Horizon
+	}
+	half := s.cfg.L / 2
+	for t := lo; t <= hi; t++ {
+		p := st.PositionAt(t)
+		// Objects predicted outside the monitored area do not exist at that
+		// timestamp (same contract as the density histogram, so all query
+		// methods see identical populations).
+		if !s.cfg.Area.Contains(p) {
+			continue
+		}
+		box := geom.Rect{MinX: p.X - half, MinY: p.Y - half, MaxX: p.X + half, MaxY: p.Y + half}
+		s.addBox(t, box, delta)
+	}
+}
+
+// addBox distributes value over the box into every overlapped polynomial
+// cell's series, in the cell's normalized [-1, 1]^2 coordinates.
+func (s *Surface) addBox(t motion.Tick, box geom.Rect, value float64) {
+	gx1, gy1 := s.cellOf(geom.Point{X: box.MinX, Y: box.MinY})
+	gx2, gy2 := s.cellOf(geom.Point{X: box.MaxX, Y: box.MaxY})
+	slot := s.slot(t)
+	for gx := gx1; gx <= gx2; gx++ {
+		for gy := gy1; gy <= gy2; gy++ {
+			cell := s.cellRect(gx, gy)
+			ov := cell.Intersect(box)
+			if ov.IsEmpty() {
+				continue
+			}
+			x1 := s.normX(ov.MinX, cell)
+			x2 := s.normX(ov.MaxX, cell)
+			y1 := s.normY(ov.MinY, cell)
+			y2 := s.normY(ov.MaxY, cell)
+			slot[gy*s.cfg.G+gx].AddBoxDelta(x1, y1, x2, y2, value)
+		}
+	}
+}
+
+func (s *Surface) normX(x float64, cell geom.Rect) float64 {
+	return 2*(x-cell.MinX)/cell.Width() - 1
+}
+
+func (s *Surface) normY(y float64, cell geom.Rect) float64 {
+	return 2*(y-cell.MinY)/cell.Height() - 1
+}
+
+// Density returns the approximated point density at p and time t. Out-of-
+// window timestamps yield zero.
+func (s *Surface) Density(t motion.Tick, p geom.Point) float64 {
+	if t < s.base || t > s.base+s.cfg.Horizon {
+		return 0
+	}
+	gx, gy := s.cellOf(p)
+	cell := s.cellRect(gx, gy)
+	return s.slot(t)[gy*s.cfg.G+gx].Eval(s.normX(p.X, cell), s.normY(p.Y, cell))
+}

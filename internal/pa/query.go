@@ -1,0 +1,144 @@
+package pa
+
+import (
+	"fmt"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// DenseRegion returns the region where the approximated density at
+// timestamp qt is at least rho, extracted per polynomial cell by
+// branch-and-bound over the Chebyshev interval bounds (paper Sec. 6.3):
+// boxes whose lower bound reaches rho are wholly dense, boxes whose upper
+// bound misses rho are discarded, and boxes smaller than the MD resolution
+// floor are decided by their center density.
+func (s *Surface) DenseRegion(qt motion.Tick, rho float64) (geom.Region, error) {
+	if qt < s.base || qt > s.base+s.cfg.Horizon {
+		return nil, fmt.Errorf("pa: timestamp %d outside window [%d, %d]", qt, s.base, s.base+s.cfg.Horizon)
+	}
+	if rho < 0 {
+		return nil, fmt.Errorf("pa: negative threshold %g", rho)
+	}
+	// Resolution floor in normalized units: a polynomial cell spans 2.0 and
+	// Area/MD world units correspond to 2*G/MD.
+	floor := 2 * float64(s.cfg.G) / float64(s.cfg.MD)
+	slot := s.slot(qt)
+	var out geom.Region
+	for gy := 0; gy < s.cfg.G; gy++ {
+		for gx := 0; gx < s.cfg.G; gx++ {
+			cell := s.cellRect(gx, gy)
+			series := slot[gy*s.cfg.G+gx]
+			s.branch(series, cell, -1, -1, 1, 1, rho, floor, &out)
+		}
+	}
+	return geom.Coalesce(out), nil
+}
+
+// branch recursively classifies the normalized box [x1,x2]x[y1,y2] of one
+// polynomial cell.
+func (s *Surface) branch(series seriesEval, cell geom.Rect, x1, y1, x2, y2, rho, floor float64, out *geom.Region) {
+	lo, hi := series.Bounds(x1, y1, x2, y2)
+	if hi < rho {
+		return
+	}
+	if lo >= rho {
+		out.Add(s.denorm(cell, x1, y1, x2, y2))
+		return
+	}
+	if x2-x1 <= floor && y2-y1 <= floor {
+		cx, cy := (x1+x2)/2, (y1+y2)/2
+		if series.Eval(cx, cy) >= rho {
+			out.Add(s.denorm(cell, x1, y1, x2, y2))
+		}
+		return
+	}
+	mx, my := (x1+x2)/2, (y1+y2)/2
+	s.branch(series, cell, x1, y1, mx, my, rho, floor, out)
+	s.branch(series, cell, mx, y1, x2, my, rho, floor, out)
+	s.branch(series, cell, x1, my, mx, y2, rho, floor, out)
+	s.branch(series, cell, mx, my, x2, y2, rho, floor, out)
+}
+
+// seriesEval is the slice of the Chebyshev series API the query needs;
+// declared as an interface so ablation variants can wrap instrumentation
+// around it.
+type seriesEval interface {
+	Eval(x, y float64) float64
+	Bounds(x1, y1, x2, y2 float64) (lo, hi float64)
+}
+
+// denorm maps a normalized box of cell back to world coordinates.
+func (s *Surface) denorm(cell geom.Rect, x1, y1, x2, y2 float64) geom.Rect {
+	return geom.Rect{
+		MinX: cell.MinX + (x1+1)/2*cell.Width(),
+		MinY: cell.MinY + (y1+1)/2*cell.Height(),
+		MaxX: cell.MinX + (x2+1)/2*cell.Width(),
+		MaxY: cell.MinY + (y2+1)/2*cell.Height(),
+	}
+}
+
+// DenseRegionIn answers the dense-region query restricted to a viewport —
+// the common dashboard interaction ("what is dense in the part of the map I
+// am looking at"). Only the polynomial cells overlapping the viewport are
+// explored, and branch-and-bound starts from the clipped boxes, so cost
+// scales with the viewport rather than the plane.
+func (s *Surface) DenseRegionIn(qt motion.Tick, rho float64, viewport geom.Rect) (geom.Region, error) {
+	if qt < s.base || qt > s.base+s.cfg.Horizon {
+		return nil, fmt.Errorf("pa: timestamp %d outside window [%d, %d]", qt, s.base, s.base+s.cfg.Horizon)
+	}
+	if rho < 0 {
+		return nil, fmt.Errorf("pa: negative threshold %g", rho)
+	}
+	w := viewport.Intersect(s.cfg.Area)
+	if w.IsEmpty() {
+		return nil, nil
+	}
+	floor := 2 * float64(s.cfg.G) / float64(s.cfg.MD)
+	slot := s.slot(qt)
+	var out geom.Region
+	for gy := 0; gy < s.cfg.G; gy++ {
+		for gx := 0; gx < s.cfg.G; gx++ {
+			cell := s.cellRect(gx, gy)
+			ov := cell.Intersect(w)
+			if ov.IsEmpty() {
+				continue
+			}
+			series := slot[gy*s.cfg.G+gx]
+			s.branch(series, cell,
+				s.normX(ov.MinX, cell), s.normY(ov.MinY, cell),
+				s.normX(ov.MaxX, cell), s.normY(ov.MaxY, cell),
+				rho, floor, &out)
+		}
+	}
+	return geom.Coalesce(out), nil
+}
+
+// DenseRegionGrid evaluates the density at the centers of an MD x MD grid
+// and returns the dense cells. This is the paper's "trivial approach"
+// (Sec. 6.3) kept as an ablation baseline for the branch-and-bound
+// extraction.
+func (s *Surface) DenseRegionGrid(qt motion.Tick, rho float64) (geom.Region, error) {
+	if qt < s.base || qt > s.base+s.cfg.Horizon {
+		return nil, fmt.Errorf("pa: timestamp %d outside window [%d, %d]", qt, s.base, s.base+s.cfg.Horizon)
+	}
+	md := s.cfg.MD
+	w := s.cfg.Area.Width() / float64(md)
+	h := s.cfg.Area.Height() / float64(md)
+	var out geom.Region
+	for j := 0; j < md; j++ {
+		for i := 0; i < md; i++ {
+			cx := s.cfg.Area.MinX + (float64(i)+0.5)*w
+			cy := s.cfg.Area.MinY + (float64(j)+0.5)*h
+			if s.Density(qt, geom.Point{X: cx, Y: cy}) >= rho {
+				out.Add(geom.Rect{
+					MinX: s.cfg.Area.MinX + float64(i)*w,
+					MinY: s.cfg.Area.MinY + float64(j)*h,
+					MaxX: s.cfg.Area.MinX + float64(i+1)*w,
+					MaxY: s.cfg.Area.MinY + float64(j+1)*h,
+				})
+			}
+		}
+	}
+	return geom.Coalesce(out), nil
+}

@@ -1,0 +1,92 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Router provides shortest-travel-time next hops toward the network's hub
+// nodes, precomputed with one Dijkstra pass per hub. Travelers routed this
+// way concentrate on the fastest corridors (freeways), which sharpens the
+// skew of the object distribution compared to greedy geometric routing.
+type Router struct {
+	net *Network
+	// nextHop[h][v] is the neighbor of v on a shortest path to hub h
+	// (v itself when v == hub or unreachable).
+	nextHop map[NodeID][]NodeID
+}
+
+// NewRouter precomputes routes to every hub.
+func NewRouter(net *Network) *Router {
+	r := &Router{net: net, nextHop: make(map[NodeID][]NodeID, len(net.hubs))}
+	for _, h := range net.hubs {
+		r.nextHop[h] = dijkstraTree(net, h)
+	}
+	return r
+}
+
+// Toward returns the next hop from v on a shortest path to dst. For non-hub
+// destinations (or when v has already arrived) it falls back to the greedy
+// geometric hop.
+func (r *Router) Toward(v, prev, dst NodeID, rng *rand.Rand) NodeID {
+	if hops, ok := r.nextHop[dst]; ok {
+		if next := hops[v]; next != v {
+			return next
+		}
+		return v
+	}
+	// Non-hub destination: greedy fallback (the common case is hub travel,
+	// so this stays rare).
+	return r.net.NextHop(v, prev, dst, rng)
+}
+
+// pqItem is one entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// dijkstraTree computes, for every node, its next hop toward src along a
+// minimum-travel-time path (edge weight = length / class speed factor).
+// Because the graph is undirected, a shortest-path tree rooted at src gives
+// next hops toward src by recording the parent relationship.
+func dijkstraTree(net *Network, src NodeID) []NodeID {
+	n := net.NumNodes()
+	dist := make([]float64, n)
+	next := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = -1 // unvisited
+		next[i] = NodeID(i)
+	}
+	q := &pq{{node: src, dist: 0}}
+	dist[src] = 0
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, he := range net.adj[v] {
+			w := he.to
+			length := net.nodes[w].Sub(net.nodes[v]).Norm()
+			t := length / he.class.SpeedFactor()
+			nd := dist[v] + t
+			if dist[w] < 0 || nd < dist[w] {
+				dist[w] = nd
+				next[w] = v // moving to v is one step closer to src
+				heap.Push(q, pqItem{node: w, dist: nd})
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,130 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRouterReachesHubs(t *testing.T) {
+	net := testNet(t)
+	router := NewRouter(net)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		v := net.RandomNode(rng)
+		hub := net.SampleHub(rng)
+		steps := 0
+		prev := NodeID(-1)
+		for v != hub {
+			next := router.Toward(v, prev, hub, rng)
+			if next == v {
+				t.Fatalf("trial %d: router stalled at %d toward hub %d", trial, v, hub)
+			}
+			prev, v = v, next
+			steps++
+			if steps > net.NumNodes() {
+				t.Fatalf("trial %d: no progress toward hub %d after %d steps", trial, hub, steps)
+			}
+		}
+	}
+}
+
+func TestRouterShorterOrEqualTravelTime(t *testing.T) {
+	// Shortest-path routing must never take longer (in travel time) than
+	// greedy routing to the same hub.
+	net := testNet(t)
+	router := NewRouter(net)
+	rng := rand.New(rand.NewSource(2))
+
+	travelTime := func(route func(v, prev NodeID) NodeID, src, dst NodeID) float64 {
+		v, prev := src, NodeID(-1)
+		total := 0.0
+		for v != dst {
+			next := route(v, prev)
+			if next == v {
+				return -1
+			}
+			length := net.NodePos(next).Sub(net.NodePos(v)).Norm()
+			total += length / net.EdgeClass(v, next).SpeedFactor()
+			prev, v = v, next
+			if total > 1e9 {
+				return -1
+			}
+		}
+		return total
+	}
+
+	worse := 0
+	for trial := 0; trial < 25; trial++ {
+		src := net.RandomNode(rng)
+		hub := net.SampleHub(rng)
+		if src == hub {
+			continue
+		}
+		tRouted := travelTime(func(v, prev NodeID) NodeID {
+			return router.Toward(v, prev, hub, rng)
+		}, src, hub)
+		tGreedy := travelTime(func(v, prev NodeID) NodeID {
+			return net.NextHop(v, prev, hub, rng)
+		}, src, hub)
+		if tRouted < 0 {
+			t.Fatalf("trial %d: routed walk failed", trial)
+		}
+		if tGreedy >= 0 && tRouted > tGreedy*1.0001 {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("shortest-path routing was slower than greedy on %d/25 trials", worse)
+	}
+}
+
+func TestRoutedTravelerWalks(t *testing.T) {
+	net := testNet(t)
+	router := NewRouter(net)
+	rng := rand.New(rand.NewSource(3))
+	tr := NewRoutedTraveler(net, router, rng, 1.5)
+	for step := 0; step < 2000; step++ {
+		p := tr.Pos(net)
+		if !net.Area().ContainsClosed(p) {
+			t.Fatalf("step %d: routed traveler left the area at %v", step, p)
+		}
+		tr.Step(net, rng)
+	}
+}
+
+func TestRoutedTravelersConcentrateOnCorridors(t *testing.T) {
+	// Shortest-time routing prefers freeways; after warm-up, routed
+	// travelers should sit on freeway edges more often than greedy ones.
+	net := testNet(t)
+	router := NewRouter(net)
+	onFreeway := func(routed bool, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 300
+		trs := make([]Traveler, n)
+		for i := range trs {
+			if routed {
+				trs[i] = NewRoutedTraveler(net, router, rng, 1.0)
+			} else {
+				trs[i] = NewTraveler(net, rng, 1.0)
+			}
+		}
+		for step := 0; step < 400; step++ {
+			for i := range trs {
+				trs[i].Step(net, rng)
+			}
+		}
+		count := 0
+		for i := range trs {
+			if net.EdgeClass(trs[i].From, trs[i].To) == Freeway {
+				count++
+			}
+		}
+		return float64(count) / n
+	}
+	routed := onFreeway(true, 4)
+	greedy := onFreeway(false, 4)
+	t.Logf("freeway occupancy: routed=%.2f greedy=%.2f", routed, greedy)
+	if routed <= greedy {
+		t.Errorf("routed travelers on freeways (%.2f) not above greedy (%.2f)", routed, greedy)
+	}
+}

@@ -1,0 +1,409 @@
+// Package service exposes the PDR engine over HTTP with a JSON API — the
+// deployment surface a location-based-services backend would integrate:
+//
+//	POST   /v1/load       bulk-load initial object states
+//	POST   /v1/updates    advance the clock and apply location updates
+//	                      (returns standing-query change events)
+//	GET    /v1/query      answer a snapshot or interval PDR query
+//	POST   /v1/watch      register a standing (continuous) PDR query
+//	DELETE /v1/watch/{id} remove a standing query
+//	GET    /v1/past       exact PDR query at a past timestamp (history)
+//	GET    /v1/contours   extract iso-density contour lines (PA surfaces)
+//	GET    /v1/stats      server and buffer-pool statistics
+//	GET    /healthz       liveness
+//
+// The engine is single-writer/single-reader; the service serializes access
+// with a mutex so the HTTP server's concurrent handlers stay safe.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pdr/internal/core"
+	"pdr/internal/monitor"
+	"pdr/internal/motion"
+	"pdr/internal/wire"
+)
+
+// Service wraps a core.Server with an HTTP API.
+type Service struct {
+	mu  sync.Mutex
+	srv *core.Server
+	mon *monitor.Monitor
+	mux *http.ServeMux
+}
+
+// New creates a service over a fresh engine.
+func New(cfg core.Config) (*Service, error) {
+	srv, err := core.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{srv: srv, mon: monitor.New(srv), mux: http.NewServeMux()}
+	s.registerWatchRoutes()
+	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/contours", s.handleContours)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine returns the wrapped PDR server for offline pre-loading; once the
+// service is receiving HTTP traffic, all access must go through the API.
+func (s *Service) Engine() *core.Server { return s.srv }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// LoadRequest is the body of POST /v1/load.
+type LoadRequest struct {
+	States []wire.Record `json:"states"`
+}
+
+// LoadResponse reports the load outcome.
+type LoadResponse struct {
+	Loaded int         `json:"loaded"`
+	Now    motion.Tick `json:"now"`
+}
+
+func (s *Service) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	states := make([]motion.State, len(req.States))
+	for i, rec := range req.States {
+		states[i] = rec.State()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.srv.Load(states); err != nil {
+		httpError(w, http.StatusConflict, "load: %v", err)
+		return
+	}
+	writeJSON(w, LoadResponse{Loaded: len(states), Now: s.srv.Now()})
+}
+
+// UpdatesRequest is the body of POST /v1/updates: the clock advances to Now
+// and the updates are applied in order.
+type UpdatesRequest struct {
+	Now     motion.Tick   `json:"now"`
+	Updates []wire.Record `json:"updates"`
+}
+
+// UpdatesResponse reports the tick outcome, including any change events
+// from registered standing queries.
+type UpdatesResponse struct {
+	Applied int         `json:"applied"`
+	Now     motion.Tick `json:"now"`
+	Objects int         `json:"objects"`
+	Events  []EventJSON `json:"events,omitempty"`
+}
+
+func (s *Service) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req UpdatesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ups := make([]motion.Update, len(req.Updates))
+	for i, rec := range req.Updates {
+		u, err := rec.Update()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+		ups[i] = u
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events, err := s.mon.Advance(req.Now, ups)
+	if err != nil {
+		httpError(w, http.StatusConflict, "tick: %v", err)
+		return
+	}
+	writeJSON(w, UpdatesResponse{
+		Applied: len(ups), Now: s.srv.Now(), Objects: s.srv.NumObjects(),
+		Events: eventsJSON(events),
+	})
+}
+
+// RectJSON is one dense rectangle of a query answer.
+type RectJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// QueryResponse is the body returned by GET /v1/query.
+type QueryResponse struct {
+	Method      string        `json:"method"`
+	At          motion.Tick   `json:"at"`
+	Until       *motion.Tick  `json:"until,omitempty"`
+	Rho         float64       `json:"rho"`
+	L           float64       `json:"l"`
+	Rects       []RectJSON    `json:"rects"`
+	Area        float64       `json:"area"`
+	Rings       [][]PointJSON `json:"rings,omitempty"`
+	CPUMicros   int64         `json:"cpuMicros"`
+	IOs         int64         `json:"ios"`
+	TotalMicros int64         `json:"totalMicros"`
+}
+
+// PointJSON is one outline vertex.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// handleQuery answers GET /v1/query with parameters:
+//
+//	method   fr | pa | dh-opt | dh-pess | bf        (default fr)
+//	rho      absolute density threshold, or
+//	varrho   relative threshold (paper's 1..5)
+//	l        neighborhood edge (required)
+//	at       now | now+K | absolute tick            (default now)
+//	until    optional: interval query end (same forms as at)
+//	outline  1 to include rectilinear boundary rings
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	method, err := parseMethod(qp.Get("method"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	l, err := strconv.ParseFloat(qp.Get("l"), 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad l %q", qp.Get("l"))
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.srv.Now()
+
+	rho, err := s.parseRho(qp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	at, err := parseTick(qp.Get("at"), now)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := core.Query{Rho: rho, L: l, At: at}
+
+	var res *core.Result
+	var until *motion.Tick
+	if u := qp.Get("until"); u != "" {
+		end, err := parseTick(u, now)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		until = &end
+		res, err = s.srv.Interval(q, end, method)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	} else {
+		res, err = s.srv.Snapshot(q, method)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	}
+
+	out := QueryResponse{
+		Method: res.Method.String(), At: q.At, Until: until,
+		Rho: rho, L: l,
+		Rects:       make([]RectJSON, len(res.Region)),
+		Area:        res.Region.Area(),
+		CPUMicros:   res.CPU.Microseconds(),
+		IOs:         res.IOs,
+		TotalMicros: res.Total().Microseconds(),
+	}
+	for i, rect := range res.Region {
+		out.Rects[i] = RectJSON{rect.MinX, rect.MinY, rect.MaxX, rect.MaxY}
+	}
+	if qp.Get("outline") == "1" {
+		for _, ring := range res.Region.Outline() {
+			pts := make([]PointJSON, len(ring))
+			for i, p := range ring {
+				pts[i] = PointJSON{p.X, p.Y}
+			}
+			out.Rings = append(out.Rings, pts)
+		}
+	}
+	writeJSON(w, out)
+}
+
+// ContourResponse is the body of GET /v1/contours.
+type ContourResponse struct {
+	Level    float64      `json:"level"`
+	At       motion.Tick  `json:"at"`
+	Segments [][4]float64 `json:"segments"` // x1, y1, x2, y2
+}
+
+func (s *Service) handleContours(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	level, err := strconv.ParseFloat(qp.Get("level"), 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad level %q", qp.Get("level"))
+		return
+	}
+	res := 96
+	if v := qp.Get("res"); v != "" {
+		if res, err = strconv.Atoi(v); err != nil {
+			httpError(w, http.StatusBadRequest, "bad res %q", v)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at, err := parseTick(qp.Get("at"), s.srv.Now())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	segs, err := s.srv.Surface().Contours(at, level, res)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := ContourResponse{Level: level, At: at, Segments: make([][4]float64, len(segs))}
+	for i, sg := range segs {
+		out.Segments[i] = [4]float64{sg.A.X, sg.A.Y, sg.B.X, sg.B.Y}
+	}
+	writeJSON(w, out)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Now            motion.Tick `json:"now"`
+	Objects        int         `json:"objects"`
+	HistogramBytes int         `json:"histogramBytes"`
+	SurfaceBytes   int         `json:"surfaceBytes"`
+	IndexPages     int         `json:"indexPages"`
+	PoolReads      int64       `json:"poolReads"`
+	PoolWrites     int64       `json:"poolWrites"`
+	PoolHits       int64       `json:"poolHits"`
+	UptimeHorizon  motion.Tick `json:"horizon"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.srv.Pool().Stats()
+	writeJSON(w, StatsResponse{
+		Now:            s.srv.Now(),
+		Objects:        s.srv.NumObjects(),
+		HistogramBytes: s.srv.Histogram().MemoryBytes(),
+		SurfaceBytes:   s.srv.Surface().MemoryBytes(),
+		IndexPages:     s.srv.Pool().NumPages(),
+		PoolReads:      st.Reads,
+		PoolWrites:     st.Writes,
+		PoolHits:       st.Hits,
+		UptimeHorizon:  s.srv.Horizon(),
+	})
+}
+
+// parseRho resolves rho= (absolute) or varrho= (relative to the live count)
+// query parameters; must be called with the lock held.
+func (s *Service) parseRho(qp interface{ Get(string) string }) (float64, error) {
+	if v := qp.Get("rho"); v != "" {
+		rho, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad rho %q", v)
+		}
+		return rho, nil
+	}
+	if v := qp.Get("varrho"); v != "" {
+		varrho, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad varrho %q", v)
+		}
+		area := s.srv.Config().Area
+		return float64(s.srv.NumObjects()) * varrho / area.Area(), nil
+	}
+	return 0, fmt.Errorf("one of rho or varrho is required")
+}
+
+func parseTick(v string, now motion.Tick) (motion.Tick, error) {
+	switch {
+	case v == "" || v == "now":
+		return now, nil
+	case strings.HasPrefix(v, "now+"):
+		k, err := strconv.Atoi(v[len("now+"):])
+		if err != nil {
+			return 0, fmt.Errorf("bad timestamp %q", v)
+		}
+		return now + motion.Tick(k), nil
+	default:
+		k, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad timestamp %q", v)
+		}
+		return motion.Tick(k), nil
+	}
+}
+
+func parseMethod(v string) (core.Method, error) {
+	switch strings.ToLower(v) {
+	case "", "fr":
+		return core.FR, nil
+	case "pa":
+		return core.PA, nil
+	case "dh-opt":
+		return core.DHOptimistic, nil
+	case "dh-pess":
+		return core.DHPessimistic, nil
+	case "bf":
+		return core.BruteForce, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", v)
+	}
+}
+
+// ListenAndServe runs the service on addr until the listener fails.
+func (s *Service) ListenAndServe(addr string) error {
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return server.ListenAndServe()
+}

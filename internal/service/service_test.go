@@ -1,0 +1,504 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pdr/internal/core"
+	"pdr/internal/datagen"
+	"pdr/internal/motion"
+	"pdr/internal/wire"
+)
+
+func testService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func loadWorkload(t *testing.T, ts *httptest.Server, n int) *datagen.Generator {
+	t.Helper()
+	gcfg := datagen.DefaultConfig(n)
+	gcfg.Seed = 7
+	g, err := datagen.New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req LoadRequest
+	for _, s := range g.InitialStates() {
+		req.States = append(req.States, wire.FromState(wire.KindState, s, 0))
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load status %d", resp.StatusCode)
+	}
+	var lr LoadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Loaded != n {
+		t.Fatalf("loaded %d, want %d", lr.Loaded, n)
+	}
+	return g
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testService(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestLoadUpdatesQueryFlow(t *testing.T) {
+	_, ts := testService(t)
+	g := loadWorkload(t, ts, 2000)
+
+	// Apply one tick of updates.
+	ups := g.Advance()
+	var ur UpdatesRequest
+	ur.Now = g.Now()
+	for _, u := range ups {
+		kind := wire.KindInsert
+		if u.Kind == motion.Delete {
+			kind = wire.KindDelete
+		}
+		ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+	}
+	body, _ := json.Marshal(ur)
+	resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("updates status %d", resp.StatusCode)
+	}
+	var urr UpdatesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&urr); err != nil {
+		t.Fatal(err)
+	}
+	if urr.Objects != 2000 || urr.Now != g.Now() {
+		t.Fatalf("updates response %+v", urr)
+	}
+
+	// Query via FR with outline rings.
+	qresp, err := http.Get(ts.URL + "/v1/query?method=fr&varrho=2&l=60&at=now%2B10&outline=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", qresp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Method != "FR" {
+		t.Errorf("method %q", qr.Method)
+	}
+	if len(qr.Rects) == 0 || qr.Area <= 0 {
+		t.Errorf("empty answer: %d rects, area %g", len(qr.Rects), qr.Area)
+	}
+	if len(qr.Rings) == 0 {
+		t.Error("outline=1 but no rings returned")
+	}
+}
+
+func TestIntervalQueryOverHTTP(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 1000)
+	resp, err := http.Get(ts.URL + "/v1/query?method=pa&varrho=1&l=60&at=now&until=now%2B3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interval query status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Until == nil || *qr.Until != 3 {
+		t.Errorf("until = %v, want 3", qr.Until)
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 100)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/query?method=banana&l=60&varrho=1", http.StatusBadRequest},
+		{"/v1/query?method=fr&l=abc&varrho=1", http.StatusBadRequest},
+		{"/v1/query?method=fr&l=60", http.StatusBadRequest},         // no rho
+		{"/v1/query?method=fr&l=60&rho=xyz", http.StatusBadRequest}, // bad rho
+		{"/v1/query?method=fr&l=60&varrho=1&at=later", http.StatusBadRequest},
+		{"/v1/query?method=fr&l=60&varrho=1&at=9999", http.StatusUnprocessableEntity}, // out of window
+		{"/v1/query?method=pa&l=45&varrho=1", http.StatusUnprocessableEntity},         // PA wrong l
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.code)
+		}
+	}
+}
+
+func TestUpdatesValidationErrors(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 100)
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+	// A "state" record is not an update.
+	body, _ := json.Marshal(UpdatesRequest{Now: 1, Updates: []wire.Record{{Kind: wire.KindState}}})
+	resp, err = http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("state-as-update: status %d", resp.StatusCode)
+	}
+	// Deleting an unknown object conflicts.
+	body, _ = json.Marshal(UpdatesRequest{Now: 1, Updates: []wire.Record{
+		{Kind: wire.KindDelete, ID: 999999, Tick: 1},
+	}})
+	resp, err = http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unknown delete: status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 500)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Objects != 500 {
+		t.Errorf("stats objects = %d, want 500", sr.Objects)
+	}
+	if sr.HistogramBytes == 0 || sr.SurfaceBytes == 0 || sr.IndexPages == 0 {
+		t.Errorf("stats missing structure sizes: %+v", sr)
+	}
+	if sr.UptimeHorizon != 90 {
+		t.Errorf("horizon = %d, want 90", sr.UptimeHorizon)
+	}
+}
+
+func TestContoursEndpoint(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 3000)
+	resp, err := http.Get(ts.URL + "/v1/contours?level=0.0001&res=48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("contours status %d", resp.StatusCode)
+	}
+	var cr ContourResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Segments) == 0 {
+		t.Error("no contour segments at a low level over 3000 objects")
+	}
+	// Bad parameters.
+	for _, u := range []string{
+		"/v1/contours",                 // missing level
+		"/v1/contours?level=1&res=x",   // bad res
+		"/v1/contours?level=1&res=1",   // res too small
+		"/v1/contours?level=1&at=9999", // out of window
+	} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s unexpectedly succeeded", u)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// The mutex must keep concurrent readers and writers safe; exercised
+	// with parallel HTTP traffic.
+	_, ts := testService(t)
+	g := loadWorkload(t, ts, 1000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/query?method=pa&varrho=%d&l=60", ts.URL, 1+w%3))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			ups := g.Advance()
+			var ur UpdatesRequest
+			ur.Now = g.Now()
+			for _, u := range ups {
+				kind := wire.KindInsert
+				if u.Kind == motion.Delete {
+					kind = wire.KindDelete
+				}
+				ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+			}
+			body, _ := json.Marshal(ur)
+			resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("updates status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWatchLifecycle(t *testing.T) {
+	_, ts := testService(t)
+	g := loadWorkload(t, ts, 1500)
+
+	// Register a standing query.
+	body, _ := json.Marshal(WatchRequest{Varrho: 2, L: 60, Ahead: 5, Every: 1, Method: "pa"})
+	resp, err := http.Post(ts.URL+"/v1/watch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", resp.StatusCode)
+	}
+	var wr WatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.ID == 0 {
+		t.Fatal("watch returned zero id")
+	}
+
+	// The next update tick carries an event (first evaluation).
+	ups := g.Advance()
+	var ur UpdatesRequest
+	ur.Now = g.Now()
+	for _, u := range ups {
+		kind := wire.KindInsert
+		if u.Kind == motion.Delete {
+			kind = wire.KindDelete
+		}
+		ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+	}
+	body, _ = json.Marshal(ur)
+	resp2, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var urr UpdatesResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&urr); err != nil {
+		t.Fatal(err)
+	}
+	if len(urr.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(urr.Events))
+	}
+	ev := urr.Events[0]
+	if ev.SubID != wr.ID || !ev.First {
+		t.Errorf("unexpected event %+v", ev)
+	}
+	if ev.Target != ev.At+5 {
+		t.Errorf("event target %d, want at+5=%d", ev.Target, ev.At+5)
+	}
+
+	// Unregister and confirm no more events.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/watch/%d", ts.URL, wr.ID), nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNoContent {
+		t.Fatalf("unwatch status %d", resp3.StatusCode)
+	}
+	// Double delete -> 404.
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unwatch status %d", resp4.StatusCode)
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	_, ts := testService(t)
+	loadWorkload(t, ts, 100)
+	for _, body := range []string{
+		`{`,                                     // malformed
+		`{"l":60,"varrho":1,"method":"banana"}`, // bad method
+		`{"l":0,"varrho":1,"method":"pa"}`,      // bad l
+		`{"l":60,"varrho":1,"ahead":99,"method":"pa"}`, // ahead > W
+	} {
+		resp, err := http.Post(ts.URL+"/v1/watch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("watch body %q unexpectedly succeeded", body)
+		}
+	}
+	// Bad id on delete.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/watch/zzz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", resp.StatusCode)
+	}
+}
+
+func TestPastEndpoint(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	cfg.KeepHistory = true
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	g := loadWorkload(t, ts, 1500)
+	// Advance a few ticks so there is a past to query.
+	for i := 0; i < 5; i++ {
+		ups := g.Advance()
+		var ur UpdatesRequest
+		ur.Now = g.Now()
+		for _, u := range ups {
+			kind := wire.KindInsert
+			if u.Kind == motion.Delete {
+				kind = wire.KindDelete
+			}
+			ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+		}
+		body, _ := json.Marshal(ur)
+		resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("past status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Method != "past-exact" || qr.At != 2 {
+		t.Errorf("past response: %+v", qr)
+	}
+	// Validation: future tick rejected; non-history server rejected.
+	r2, _ := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=9999")
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("future past query status %d", r2.StatusCode)
+	}
+	_, ts2 := testService(t) // history disabled
+	loadWorkload(t, ts2, 50)
+	r3, _ := http.Get(ts2.URL + "/v1/past?varrho=2&l=60&at=0")
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("history-disabled past query status %d", r3.StatusCode)
+	}
+	// Bad params.
+	r4, _ := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=now")
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Errorf("at=now status %d", r4.StatusCode)
+	}
+}

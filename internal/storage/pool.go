@@ -1,0 +1,197 @@
+// Package storage models the disk subsystem underneath the TPR-tree: a page
+// store with an LRU buffer pool and physical-I/O accounting.
+//
+// The PDR paper evaluates I/O analytically — a 4 KB page size, a buffer of
+// 10% of the dataset size, and 10 ms charged per random disk access — rather
+// than measuring a physical disk. This package reproduces exactly that cost
+// model: page payloads live in memory, but every buffer miss is counted as a
+// physical read (and every dirty eviction as a physical write), and Stats
+// converts the counts to time under a configurable per-I/O charge.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// PageID identifies a page in the store. The zero PageID is never allocated
+// and can be used as a null reference.
+type PageID uint64
+
+// DefaultPageSize is the paper's page size (4 KB).
+const DefaultPageSize = 4096
+
+// DefaultRandomIO is the paper's charge per random disk access (10 ms).
+const DefaultRandomIO = 10 * time.Millisecond
+
+// Stats aggregates physical and logical I/O counters.
+type Stats struct {
+	// Reads is the number of physical page reads (buffer misses).
+	Reads int64
+	// Writes is the number of physical page writes (dirty evictions and
+	// flushes).
+	Writes int64
+	// Hits is the number of logical reads served from the buffer.
+	Hits int64
+}
+
+// RandomIOs returns the total number of physical accesses.
+func (s Stats) RandomIOs() int64 { return s.Reads + s.Writes }
+
+// IOTime returns the modelled time spent in physical I/O at the given charge
+// per access.
+func (s Stats) IOTime(perIO time.Duration) time.Duration {
+	return time.Duration(s.RandomIOs()) * perIO
+}
+
+// Sub returns s - t, the delta between two snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+}
+
+// Pool is a page store fronted by an LRU buffer. A Pool with capacity <= 0
+// never evicts (an effectively infinite buffer); pages still incur one read
+// when first faulted after a Drop or when written back.
+//
+// Pool is not safe for concurrent use; the PDR server serializes access.
+type Pool struct {
+	capacity int // max resident pages; <=0 means unlimited
+
+	disk   map[PageID]any // authoritative page payloads
+	lru    *list.List     // front = most recently used; values are PageID
+	index  map[PageID]*list.Element
+	dirty  map[PageID]bool
+	nextID PageID
+	stats  Stats
+}
+
+// NewPool creates a pool whose buffer holds at most capacityPages pages
+// (unlimited if capacityPages <= 0).
+func NewPool(capacityPages int) *Pool {
+	return &Pool{
+		capacity: capacityPages,
+		disk:     make(map[PageID]any),
+		lru:      list.New(),
+		index:    make(map[PageID]*list.Element),
+		dirty:    make(map[PageID]bool),
+	}
+}
+
+// Capacity returns the buffer capacity in pages (0 = unlimited).
+func (p *Pool) Capacity() int {
+	if p.capacity <= 0 {
+		return 0
+	}
+	return p.capacity
+}
+
+// Alloc reserves a fresh page ID with a nil payload. The new page is
+// considered resident and dirty (it must be written before eviction).
+func (p *Pool) Alloc() PageID {
+	p.nextID++
+	id := p.nextID
+	p.disk[id] = nil
+	p.touch(id)
+	p.dirty[id] = true
+	return id
+}
+
+// Read returns the payload of page id, counting a buffer hit or a physical
+// read. It reports an error for unknown pages.
+func (p *Pool) Read(id PageID) (any, error) {
+	v, ok := p.disk[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: read of unknown page %d", id)
+	}
+	if _, resident := p.index[id]; resident {
+		p.stats.Hits++
+		p.touch(id)
+		return v, nil
+	}
+	p.stats.Reads++
+	p.touch(id)
+	return v, nil
+}
+
+// Write replaces the payload of page id and marks it dirty. Writing a page
+// that is not resident faults it in (counted as a physical read would be
+// unfair — the writer produces the full page — so no read is charged).
+func (p *Pool) Write(id PageID, v any) error {
+	if _, ok := p.disk[id]; !ok {
+		return fmt.Errorf("storage: write to unknown page %d", id)
+	}
+	p.disk[id] = v
+	p.touch(id)
+	p.dirty[id] = true
+	return nil
+}
+
+// Free releases page id entirely.
+func (p *Pool) Free(id PageID) {
+	if el, ok := p.index[id]; ok {
+		p.lru.Remove(el)
+		delete(p.index, id)
+	}
+	delete(p.dirty, id)
+	delete(p.disk, id)
+}
+
+// Flush writes back all dirty resident pages, counting one physical write
+// per page.
+func (p *Pool) Flush() {
+	for id, d := range p.dirty {
+		if d {
+			p.stats.Writes++
+			p.dirty[id] = false
+		}
+	}
+}
+
+// Drop empties the buffer without counting writes (a cold restart); the next
+// Read of every page will miss.
+func (p *Pool) Drop() {
+	p.lru.Init()
+	p.index = make(map[PageID]*list.Element)
+	for id := range p.dirty {
+		p.dirty[id] = false
+	}
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the I/O counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// NumPages returns the number of allocated pages.
+func (p *Pool) NumPages() int { return len(p.disk) }
+
+// Resident returns the number of pages currently in the buffer.
+func (p *Pool) Resident() int { return p.lru.Len() }
+
+// touch marks id most-recently-used, evicting if over capacity.
+func (p *Pool) touch(id PageID) {
+	if el, ok := p.index[id]; ok {
+		p.lru.MoveToFront(el)
+	} else {
+		p.index[id] = p.lru.PushFront(id)
+	}
+	if p.capacity <= 0 {
+		return
+	}
+	for p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		victim := back.Value.(PageID)
+		if victim == id {
+			// Never evict the page being touched.
+			break
+		}
+		p.lru.Remove(back)
+		delete(p.index, victim)
+		if p.dirty[victim] {
+			p.stats.Writes++
+			p.dirty[victim] = false
+		}
+	}
+}

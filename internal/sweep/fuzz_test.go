@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pdr/internal/geom"
+)
+
+// FuzzDenseRectsMatchesOracle drives the plane sweep with fuzz-derived
+// point sets and cross-checks the full answer region against the
+// coordinate-compression oracle. Run with `go test -fuzz=FuzzDenseRects`;
+// under plain `go test` the seed corpus executes as regression tests.
+func FuzzDenseRectsMatchesOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 128, 127, 3, 9, 27, 81, 243})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		// Derive a deterministic scenario from the fuzz bytes: each pair of
+		// bytes is one point in [0, 64); the first byte also sets l and the
+		// threshold.
+		l := 2 + float64(data[0]%16)
+		thresholdObjects := 1 + int(data[1]%4)
+		rho := float64(thresholdObjects) / (l * l)
+		var points []geom.Point
+		for i := 2; i+3 < len(data) && len(points) < 48; i += 4 {
+			x := float64(binary.LittleEndian.Uint16(data[i:])) / 1024
+			y := float64(binary.LittleEndian.Uint16(data[i+2:])) / 1024
+			points = append(points, geom.Point{X: x, Y: y})
+		}
+		cell := geom.Rect{MinX: 8, MinY: 8, MaxX: 56, MaxY: 56}
+
+		got := DenseRects(points, cell, rho, l)
+		want := naiveDense(points, cell, rho, l)
+		ga, wa := got.Area(), want.Area()
+		if math.Abs(ga-wa) > 1e-6*(1+wa) {
+			t.Fatalf("area mismatch: sweep %g, oracle %g (l=%g thr=%d, %d points)",
+				ga, wa, l, thresholdObjects, len(points))
+		}
+		if d := got.DifferenceArea(want); d > 1e-6 {
+			t.Fatalf("sweep \\ oracle = %g", d)
+		}
+		if d := want.DifferenceArea(got); d > 1e-6 {
+			t.Fatalf("oracle \\ sweep = %g", d)
+		}
+		// Output sanity: all rects inside the cell.
+		for _, r := range got {
+			if !cell.ContainsRect(r) {
+				t.Fatalf("rect %v escapes cell %v", r, cell)
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package sweep implements the refinement step of the PDR paper's exact
+// filtering-refinement method (Sec. 5.3): a plane-sweep over the objects
+// retrieved for a candidate cell that outputs every pointwise-dense
+// rectangle inside the cell.
+//
+// The sweep follows Algorithms 2 and 3 of the paper. An l-band (width l)
+// sweeps along the X dimension; its center-line stopping events are the
+// points where the band's left or right edge touches an object. Between
+// consecutive events the set of objects in the band — and therefore the
+// density of every point with that X coordinate (Lemma 1) — is constant.
+// Whenever the band holds at least ceil(rho*l^2) objects, an l-square sweeps
+// the band along Y (Lemma 2), emitting half-open dense rectangles
+// [xi, xi+1) x [yj, yj+1).
+//
+// Half-open semantics: an object q is inside the l-square neighborhood of p
+// iff p.x - l/2 < q.x <= p.x + l/2 (same in y), so the band at center x
+// contains q iff x is in [q.x - l/2, q.x + l/2): the object enters when the
+// band's right edge reaches it and leaves when the left edge reaches it.
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"pdr/internal/geom"
+)
+
+// DenseRects returns the union of all rho-dense rectangles whose points lie
+// inside the half-open window cell, given the locations (at query time) of
+// every object whose l-square influence can reach the cell — i.e. all
+// objects inside cell.Grow(l/2). The result is exact.
+func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region {
+	if cell.IsEmpty() || l <= 0 {
+		return nil
+	}
+	// Integer object-count threshold: |L| >= rho*l^2.
+	threshold := int(math.Ceil(rho * l * l))
+	if threshold <= 0 {
+		// Everything is dense, including empty space.
+		return geom.Region{cell}
+	}
+	if len(points) < threshold {
+		return nil
+	}
+
+	n := len(points)
+	half := l / 2
+	enterX := make([]float64, n)
+	exitX := make([]float64, n)
+	for i, p := range points {
+		enterX[i] = p.X - half
+		exitX[i] = p.X + half
+	}
+	// Event coordinates: the window edges plus every enter/exit inside.
+	events := make([]float64, 0, 2*n+2)
+	events = append(events, cell.MinX, cell.MaxX)
+	for i := 0; i < n; i++ {
+		if enterX[i] > cell.MinX && enterX[i] < cell.MaxX {
+			events = append(events, enterX[i])
+		}
+		if exitX[i] > cell.MinX && exitX[i] < cell.MaxX {
+			events = append(events, exitX[i])
+		}
+	}
+	sort.Float64s(events)
+	events = dedup(events)
+
+	// Enter/exit orderings for incremental band maintenance.
+	byEnter := sortedIndex(enterX)
+	byExit := sortedIndex(exitX)
+
+	active := make([]bool, n)
+	activeCount := 0
+	pa, pb := 0, 0
+	// Initialize the band at the window's left edge.
+	for pa < n && enterX[byEnter[pa]] <= cell.MinX {
+		i := byEnter[pa]
+		if exitX[i] > cell.MinX {
+			active[i] = true
+			activeCount++
+		}
+		pa++
+	}
+	for pb < n && exitX[byExit[pb]] <= cell.MinX {
+		pb++
+	}
+
+	var out geom.Region
+	members := make([]geom.Point, 0, n)
+	for ei := 0; ei+1 < len(events); ei++ {
+		x := events[ei]
+		if ei > 0 {
+			// Advance the band to center x: objects whose exit coordinate
+			// has been reached leave; objects whose enter coordinate has
+			// been reached join.
+			for pb < n && exitX[byExit[pb]] <= x {
+				i := byExit[pb]
+				if active[i] {
+					active[i] = false
+					activeCount--
+				}
+				pb++
+			}
+			for pa < n && enterX[byEnter[pa]] <= x {
+				i := byEnter[pa]
+				if exitX[i] > x && !active[i] {
+					active[i] = true
+					activeCount++
+				}
+				pa++
+			}
+		}
+		if activeCount < threshold {
+			continue
+		}
+		members = members[:0]
+		for i := 0; i < n; i++ {
+			if active[i] {
+				members = append(members, points[i])
+			}
+		}
+		for _, seg := range sweepY(members, cell.MinY, cell.MaxY, threshold, half) {
+			out.Add(geom.Rect{MinX: x, MinY: seg.lo, MaxX: events[ei+1], MaxY: seg.hi})
+		}
+	}
+	return geom.Coalesce(out)
+}
+
+// segment is a half-open dense Y interval [lo, hi).
+type segment struct{ lo, hi float64 }
+
+// sweepY runs the Y-dimension l-square sweep (paper Algorithm 3) over the
+// band members, returning maximal dense segments within [yb, yt).
+func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) []segment {
+	n := len(members)
+	if n < threshold {
+		return nil
+	}
+	enterY := make([]float64, n)
+	exitY := make([]float64, n)
+	for i, p := range members {
+		enterY[i] = p.Y - half
+		exitY[i] = p.Y + half
+	}
+	events := make([]float64, 0, 2*n+2)
+	events = append(events, yb, yt)
+	for i := 0; i < n; i++ {
+		if enterY[i] > yb && enterY[i] < yt {
+			events = append(events, enterY[i])
+		}
+		if exitY[i] > yb && exitY[i] < yt {
+			events = append(events, exitY[i])
+		}
+	}
+	sort.Float64s(events)
+	events = dedup(events)
+
+	byEnter := sortedIndex(enterY)
+	byExit := sortedIndex(exitY)
+	count := 0
+	pa, pb := 0, 0
+	for pa < n && enterY[byEnter[pa]] <= yb {
+		if exitY[byEnter[pa]] > yb {
+			count++
+		}
+		pa++
+	}
+	for pb < n && exitY[byExit[pb]] <= yb {
+		pb++
+	}
+
+	var segs []segment
+	for ei := 0; ei+1 < len(events); ei++ {
+		y := events[ei]
+		if ei > 0 {
+			for pb < n && exitY[byExit[pb]] <= y {
+				count--
+				pb++
+			}
+			for pa < n && enterY[byEnter[pa]] <= y {
+				// Every enter processed here has enterY == y exactly (earlier
+				// enters were consumed at their own events), so its exit
+				// coordinate enterY+l lies strictly beyond y.
+				count++
+				pa++
+			}
+		}
+		if count >= threshold {
+			next := events[ei+1]
+			if len(segs) > 0 && segs[len(segs)-1].hi == y {
+				segs[len(segs)-1].hi = next // extend a contiguous dense run
+			} else {
+				segs = append(segs, segment{y, next})
+			}
+		}
+	}
+	return segs
+}
+
+func dedup(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sortedIndex returns the indices of vals in ascending value order.
+func sortedIndex(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	return idx
+}

@@ -1,0 +1,60 @@
+package tprtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/storage"
+)
+
+func benchTree(b *testing.B, n int) (*Tree, []motion.State) {
+	b.Helper()
+	tr, err := New(Config{Pool: storage.NewPool(0), Horizon: 90})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, 0)
+		tr.Insert(states[i])
+	}
+	return tr, states
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, _ := benchTree(b, 10000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(randomState(rng, 10000+i, 0))
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	tr, _ := benchTree(b, 20000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := geom.Rect{MinX: rng.Float64() * 900, MinY: rng.Float64() * 900}
+		r.MaxX = r.MinX + 80
+		r.MaxY = r.MinY + 80
+		tr.RangeQuery(r, motion.Tick(rng.Intn(90)))
+	}
+}
+
+func BenchmarkDeleteInsertCycle(b *testing.B) {
+	tr, states := benchTree(b, 10000)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(states))
+		if !tr.Delete(states[j]) {
+			b.Fatalf("delete %d failed", states[j].ID)
+		}
+		states[j] = randomState(rng, j, 0)
+		tr.Insert(states[j])
+	}
+}

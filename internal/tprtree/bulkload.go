@@ -1,0 +1,97 @@
+package tprtree
+
+import (
+	"fmt"
+	"math"
+
+	"pdr/internal/motion"
+)
+
+// bulkFill is the target node occupancy of bulk loading, leaving headroom
+// for subsequent inserts before splits cascade.
+const bulkFill = 0.7
+
+// BulkLoad builds the tree from scratch over the given movements using
+// Sort-Tile-Recursive packing (leaves tiled by position at the tree's
+// current time): vastly faster than one-at-a-time insertion for the initial
+// dataset load, producing a well-clustered tree. The tree must be empty.
+func (t *Tree) BulkLoad(states []motion.State) error {
+	if t.size > 0 {
+		return fmt.Errorf("tprtree: BulkLoad requires an empty tree (size %d)", t.size)
+	}
+	if len(states) == 0 {
+		return nil
+	}
+	entries := make([]entry, len(states))
+	for i, s := range states {
+		entries[i] = leafEntry(s)
+	}
+	t.pool.Free(t.root) // drop the empty leaf from New
+
+	level := t.packLevel(entries, true)
+	height := 1
+	for len(level) > 1 {
+		level = t.packLevel(level, false)
+		height++
+	}
+	t.root = level[0].child
+	t.height = height
+	t.size = len(states)
+	return nil
+}
+
+// packLevel tiles entries into nodes of one level and returns the bound
+// entries describing the new nodes.
+func (t *Tree) packLevel(entries []entry, leaf bool) []entry {
+	fill := int(float64(t.fan(leaf)) * bulkFill)
+	if fill < t.min(leaf) {
+		fill = t.min(leaf)
+	}
+	n := len(entries)
+	nodes := (n + fill - 1) / fill
+	if nodes == 1 {
+		return []entry{t.packNode(entries, leaf)}
+	}
+	slabs := int(math.Ceil(math.Sqrt(float64(nodes))))
+	perSlab := (n + slabs - 1) / slabs
+
+	sortEntries(entries, func(e entry) float64 { return e.loAt(0, t.now) })
+	var out []entry
+	for s := 0; s < n; s += perSlab {
+		hi := s + perSlab
+		if hi > n {
+			hi = n
+		}
+		slab := entries[s:hi]
+		sortEntries(slab, func(e entry) float64 { return e.loAt(1, t.now) })
+		for o := 0; o < len(slab); o += fill {
+			end := o + fill
+			if end > len(slab) {
+				end = len(slab)
+			}
+			group := slab[o:end]
+			// Avoid creating an underfull trailing node: borrow from the
+			// previous group by splitting the remainder evenly.
+			if len(group) < t.min(leaf) && len(out) > 0 && o > 0 {
+				// Re-pack the last two groups as one balanced pair.
+				prevStart := o - fill
+				merged := slab[prevStart:end]
+				half := len(merged) / 2
+				out = out[:len(out)-1]
+				out = append(out, t.packNode(merged[:half], leaf), t.packNode(merged[half:], leaf))
+				continue
+			}
+			out = append(out, t.packNode(group, leaf))
+		}
+	}
+	return out
+}
+
+// packNode materializes one node from entries and returns its bound entry.
+func (t *Tree) packNode(entries []entry, leaf bool) entry {
+	n := &node{leaf: leaf, entries: append([]entry(nil), entries...)}
+	id := t.newNode(n)
+	b := combineAll(n.entries, t.now)
+	b.child = id
+	return b
+}

@@ -1,0 +1,95 @@
+package tprtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	tr := newTestTree(t)
+	rng := rand.New(rand.NewSource(31))
+	const n = 3000
+	states := make([]motion.State, n)
+	for i := range states {
+		states[i] = randomState(rng, i, 0)
+		tr.Insert(states[i])
+	}
+	for trial := 0; trial < 25; trial++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		qt := motion.Tick(rng.Intn(90))
+		k := 1 + rng.Intn(20)
+
+		got := tr.KNN(p, qt, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d neighbors, want %d", trial, len(got), k)
+		}
+		// Oracle: sort all distances.
+		dists := make([]float64, n)
+		for i, s := range states {
+			dists[i] = s.PositionAt(qt).Sub(p).Norm()
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if i > 0 && nb.Dist < got[i-1].Dist {
+				t.Fatalf("trial %d: results not sorted at %d", trial, i)
+			}
+			if d := nb.Dist - dists[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %g, want %g", trial, i, nb.Dist, dists[i])
+			}
+			// The reported distance matches the state's actual position.
+			if got := nb.State.PositionAt(qt).Sub(p).Norm(); got != nb.Dist {
+				t.Fatalf("trial %d: reported dist %g != recomputed %g", trial, nb.Dist, got)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := newTestTree(t)
+	if got := tr.KNN(geom.Point{X: 1, Y: 1}, 0, 5); got != nil {
+		t.Errorf("empty tree KNN = %v", got)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 10; i++ {
+		tr.Insert(randomState(rng, i, 0))
+	}
+	if got := tr.KNN(geom.Point{X: 1, Y: 1}, 0, 0); got != nil {
+		t.Errorf("k=0 KNN = %v", got)
+	}
+	// k larger than the population returns everything.
+	got := tr.KNN(geom.Point{X: 500, Y: 500}, 30, 50)
+	if len(got) != 10 {
+		t.Errorf("k>n returned %d, want 10", len(got))
+	}
+}
+
+func TestKNNFutureTimestamp(t *testing.T) {
+	// Two objects: one near now but racing away, one far but approaching.
+	// At a future timestamp the approacher must win.
+	tr := newTestTree(t)
+	away := motion.State{ID: 1, Pos: geom.Point{X: 510, Y: 500}, Vel: geom.Vec{X: 5, Y: 0}, Ref: 0}
+	toward := motion.State{ID: 2, Pos: geom.Point{X: 900, Y: 500}, Vel: geom.Vec{X: -5, Y: 0}, Ref: 0}
+	tr.Insert(away)
+	tr.Insert(toward)
+	p := geom.Point{X: 500, Y: 500}
+	if nb := tr.KNN(p, 0, 1); nb[0].State.ID != 1 {
+		t.Errorf("at t=0 nearest should be object 1, got %d", nb[0].State.ID)
+	}
+	if nb := tr.KNN(p, 60, 1); nb[0].State.ID != 2 {
+		t.Errorf("at t=60 nearest should be the approaching object 2, got %d", nb[0].State.ID)
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	tr, _ := benchTree(b, 20000)
+	rng := rand.New(rand.NewSource(33))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		tr.KNN(p, motion.Tick(rng.Intn(90)), 10)
+	}
+}

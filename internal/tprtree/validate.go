@@ -1,0 +1,82 @@
+package tprtree
+
+import (
+	"fmt"
+
+	"pdr/internal/motion"
+)
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found. It is intended for tests and debugging; it reads
+// every page (and therefore perturbs buffer statistics).
+//
+// Invariants checked:
+//  1. every leaf is at the same depth (t.height);
+//  2. every non-root node holds between min and max entries;
+//  3. every internal entry's tpbr bounds all movements beneath it at every
+//     sampled time in [now, now+Horizon];
+//  4. the recorded size matches the number of leaf entries.
+func (t *Tree) Validate() error {
+	count, err := t.validateNode(t.root, 1, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("tprtree: size %d, found %d leaf entries", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) validateNode(pid storagePageID, depth int, isRoot bool) (int, error) {
+	n := t.readNode(pid)
+	if n.leaf && depth != t.height {
+		return 0, fmt.Errorf("tprtree: leaf at depth %d, height %d", depth, t.height)
+	}
+	if !n.leaf && depth >= t.height {
+		return 0, fmt.Errorf("tprtree: internal node at depth %d >= height %d", depth, t.height)
+	}
+	if !isRoot && len(n.entries) < t.min(n.leaf) {
+		return 0, fmt.Errorf("tprtree: node %d underfull: %d < %d", pid, len(n.entries), t.min(n.leaf))
+	}
+	if len(n.entries) > t.fan(n.leaf) {
+		return 0, fmt.Errorf("tprtree: node %d overfull: %d > %d", pid, len(n.entries), t.fan(n.leaf))
+	}
+	if n.leaf {
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		if err := t.validateCoverage(e); err != nil {
+			return 0, err
+		}
+		c, err := t.validateNode(e.child, depth+1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// validateCoverage checks that internal entry e bounds every leaf movement
+// beneath it over sampled horizon timestamps.
+func (t *Tree) validateCoverage(e entry) error {
+	samples := []motion.Tick{t.now, t.now + t.horizon/2, t.now + t.horizon}
+	var err error
+	t.walkLeaves(e.child, func(le entry) {
+		if err != nil {
+			return
+		}
+		for _, ts := range samples {
+			for d := 0; d < 2; d++ {
+				p := le.loAt(d, ts)
+				if p < e.loAt(d, ts)-1e-6 || p > e.hiAt(d, ts)+1e-6 {
+					err = fmt.Errorf("tprtree: object %d at t=%d dim %d pos %g outside bound [%g, %g]",
+						le.obj, ts, d, p, e.loAt(d, ts), e.hiAt(d, ts))
+					return
+				}
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,128 @@
+// Package viz renders query results as standalone SVG documents: dense
+// region rectangles, rectilinear outline rings, iso-density contour
+// segments, and object positions. The output is what the paper's Fig. 7
+// plots — dense regions of arbitrary shape and size over the object
+// snapshot.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pdr/internal/geom"
+)
+
+// Segment is one contour line segment.
+type Segment struct {
+	A, B geom.Point
+}
+
+// Scene collects the layers to render.
+type Scene struct {
+	// Area is the world rectangle mapped onto the canvas.
+	Area geom.Rect
+	// Width and Height are the canvas size in pixels (Height 0 derives
+	// from the area's aspect ratio).
+	Width, Height int
+	// Title is emitted as the SVG title element.
+	Title string
+	// Points are object positions (small dots).
+	Points []geom.Point
+	// Region is the dense region (filled rectangles).
+	Region geom.Region
+	// Rings are outline boundaries (stroked paths).
+	Rings []geom.Ring
+	// Contours are iso-density segments (stroked lines).
+	Contours []Segment
+}
+
+// WriteSVG renders the scene.
+func (s *Scene) WriteSVG(w io.Writer) error {
+	if s.Area.IsEmpty() {
+		return fmt.Errorf("viz: empty area")
+	}
+	width := s.Width
+	if width <= 0 {
+		width = 800
+	}
+	height := s.Height
+	if height <= 0 {
+		height = int(float64(width) * s.Area.Height() / s.Area.Width())
+	}
+	bw := bufio.NewWriter(w)
+	sx := float64(width) / s.Area.Width()
+	sy := float64(height) / s.Area.Height()
+	// World -> canvas, flipping Y so north is up.
+	tx := func(x float64) float64 { return (x - s.Area.MinX) * sx }
+	ty := func(y float64) float64 { return float64(height) - (y-s.Area.MinY)*sy }
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	if s.Title != "" {
+		fmt.Fprintf(bw, "<title>%s</title>\n", xmlEscape(s.Title))
+	}
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+
+	if len(s.Region) > 0 {
+		fmt.Fprintln(bw, `<g fill="#e4572e" fill-opacity="0.45" stroke="none">`)
+		for _, r := range s.Region {
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"/>`+"\n",
+				tx(r.MinX), ty(r.MaxY), r.Width()*sx, r.Height()*sy)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	if len(s.Points) > 0 {
+		fmt.Fprintln(bw, `<g fill="#17395c" fill-opacity="0.6">`)
+		for _, p := range s.Points {
+			fmt.Fprintf(bw, `<circle cx="%.2f" cy="%.2f" r="1.2"/>`+"\n", tx(p.X), ty(p.Y))
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	if len(s.Rings) > 0 {
+		fmt.Fprintln(bw, `<g fill="none" stroke="#a23b18" stroke-width="1.5">`)
+		for _, ring := range s.Rings {
+			if len(ring) == 0 {
+				continue
+			}
+			fmt.Fprintf(bw, `<path d="M %.2f %.2f`, tx(ring[0].X), ty(ring[0].Y))
+			for _, p := range ring[1:] {
+				fmt.Fprintf(bw, " L %.2f %.2f", tx(p.X), ty(p.Y))
+			}
+			fmt.Fprintln(bw, ` Z"/>`)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	if len(s.Contours) > 0 {
+		fmt.Fprintln(bw, `<g stroke="#2a7f62" stroke-width="1">`)
+		for _, c := range s.Contours {
+			fmt.Fprintf(bw, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"/>`+"\n",
+				tx(c.A.X), ty(c.A.Y), tx(c.B.X), ty(c.B.Y))
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// xmlEscape escapes the five XML special characters for text content.
+func xmlEscape(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

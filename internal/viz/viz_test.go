@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"pdr/internal/geom"
+)
+
+func renderScene(t *testing.T, s *Scene) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// validateXML walks the document with the XML decoder to guarantee
+// well-formedness.
+func validateXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestWriteSVGAllLayers(t *testing.T) {
+	s := &Scene{
+		Area:  geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 50},
+		Width: 400,
+		Title: `dense <regions> & "contours"`,
+		Points: []geom.Point{
+			{X: 10, Y: 10}, {X: 20, Y: 30},
+		},
+		Region: geom.Region{{MinX: 5, MinY: 5, MaxX: 25, MaxY: 20}},
+		Rings: []geom.Ring{
+			{{X: 5, Y: 5}, {X: 25, Y: 5}, {X: 25, Y: 20}, {X: 5, Y: 20}},
+		},
+		Contours: []Segment{{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 50, Y: 25}}},
+	}
+	doc := renderScene(t, s)
+	validateXML(t, doc)
+	for _, want := range []string{"<svg", "<rect", "<circle", "<path", "<line", "&lt;regions&gt;"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Aspect: height derived when zero -> 400 * 50/100 = 200.
+	if !strings.Contains(doc, `height="200"`) {
+		t.Error("derived height missing")
+	}
+}
+
+func TestWriteSVGYFlip(t *testing.T) {
+	// A point at the area's top must render near canvas y=0.
+	s := &Scene{
+		Area:   geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Width:  100,
+		Height: 100,
+		Points: []geom.Point{{X: 50, Y: 100}},
+	}
+	doc := renderScene(t, s)
+	if !strings.Contains(doc, `cy="0.00"`) {
+		t.Errorf("top-of-world point must map to canvas top:\n%s", doc)
+	}
+}
+
+func TestWriteSVGEmptyArea(t *testing.T) {
+	s := &Scene{}
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err == nil {
+		t.Error("empty area must be rejected")
+	}
+}
+
+func TestWriteSVGMinimal(t *testing.T) {
+	s := &Scene{Area: geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}}
+	doc := renderScene(t, s)
+	validateXML(t, doc)
+	if strings.Contains(doc, "<circle") || strings.Contains(doc, "<path") {
+		t.Error("empty layers must not be emitted")
+	}
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+type mockServer struct {
+	loaded  []motion.State
+	ticks   []motion.Tick
+	updates [][]motion.Update
+}
+
+func (m *mockServer) Load(states []motion.State) error {
+	m.loaded = append([]motion.State(nil), states...)
+	return nil
+}
+
+func (m *mockServer) Tick(now motion.Tick, updates []motion.Update) error {
+	m.ticks = append(m.ticks, now)
+	m.updates = append(m.updates, append([]motion.Update(nil), updates...))
+	return nil
+}
+
+func sampleState(id int) motion.State {
+	return motion.State{
+		ID:  motion.ObjectID(id),
+		Pos: geom.Point{X: float64(id), Y: float64(2 * id)},
+		Vel: geom.Vec{X: 0.5, Y: -0.25},
+		Ref: 0,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s1, s2 := sampleState(1), sampleState(2)
+	if err := w.Write(FromState(KindState, s1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(FromState(KindState, s2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Kind: KindTick, Tick: 1}); err != nil {
+		t.Fatal(err)
+	}
+	del := motion.NewDelete(s1, 1)
+	moved := s1
+	moved.Ref = 1
+	moved.Pos = geom.Point{X: 9, Y: 9}
+	ins := motion.NewInsert(moved)
+	if err := w.Write(FromState(KindDelete, del.State, del.At)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(FromState(KindInsert, ins.State, ins.At)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var srv mockServer
+	n, err := Replay(&buf, &srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Replay processed %d records, want 5", n)
+	}
+	if len(srv.loaded) != 2 || srv.loaded[0] != s1 || srv.loaded[1] != s2 {
+		t.Fatalf("loaded states mismatch: %+v", srv.loaded)
+	}
+	if len(srv.ticks) != 2 || srv.ticks[0] != 0 || srv.ticks[1] != 1 {
+		t.Fatalf("ticks mismatch: %v (expect initial flush at 0 then tick 1)", srv.ticks)
+	}
+	final := srv.updates[len(srv.updates)-1]
+	if len(final) != 2 || final[0] != del || final[1] != ins {
+		t.Fatalf("updates mismatch: %+v", final)
+	}
+}
+
+func TestReplayMalformed(t *testing.T) {
+	if _, err := Replay(strings.NewReader("{not json"), &mockServer{}); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+	if _, err := Replay(strings.NewReader(`{"kind":"banana"}`), &mockServer{}); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestRecordUpdateKindGuard(t *testing.T) {
+	if _, err := (Record{Kind: KindState}).Update(); err == nil {
+		t.Error("state record must not convert to update")
+	}
+	u, err := (Record{Kind: KindInsert, Tick: 7, ID: 1}).Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != motion.Insert || u.At != 7 {
+		t.Errorf("update mismatch: %+v", u)
+	}
+}
+
+func TestReplayEmptyAndBlankLines(t *testing.T) {
+	var srv mockServer
+	n, err := Replay(strings.NewReader("\n\n"), &srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("processed %d records from blank input", n)
+	}
+	if len(srv.ticks) != 1 {
+		t.Fatalf("expected the final flush tick, got %v", srv.ticks)
+	}
+}

@@ -1,0 +1,121 @@
+// Package zcurve implements the two-dimensional Z-order (Morton) curve used
+// by the B^x-tree to linearize object positions into B+-tree keys, including
+// the BIGMIN computation (Tropf & Herzog) that lets range scans skip the
+// curve segments lying outside a query window.
+package zcurve
+
+// Interleave maps grid cell (x, y) to its Morton code: bit i of x lands at
+// code bit 2i, bit i of y at 2i+1.
+func Interleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// Deinterleave is the inverse of Interleave.
+func Deinterleave(code uint64) (x, y uint32) {
+	return compact(code), compact(code >> 1)
+}
+
+// spread inserts a zero bit between consecutive bits of v.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact removes the interleaved zero bits (inverse of spread).
+func compact(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x)
+}
+
+// InWindow reports whether code's cell lies inside the window
+// [x1, x2] x [y1, y2] (inclusive grid bounds).
+func InWindow(code uint64, x1, y1, x2, y2 uint32) bool {
+	x, y := Deinterleave(code)
+	return x >= x1 && x <= x2 && y >= y1 && y <= y2
+}
+
+// BigMin returns the smallest Morton code greater than code that lies inside
+// the window [x1, y1]..[x2, y2], and whether such a code exists. A range
+// scan positioned on a code outside the window jumps directly to BigMin
+// instead of walking the gap (Tropf & Herzog 1981).
+func BigMin(code uint64, x1, y1, x2, y2 uint32) (uint64, bool) {
+	zmin := Interleave(x1, y1)
+	zmax := Interleave(x2, y2)
+	var bigmin uint64
+	found := false
+	// Walk bits from the most significant; maintain the shrinking window
+	// [zmin, zmax] of the current quadrant.
+	for bit := 63; bit >= 0; bit-- {
+		mask := uint64(1) << uint(bit)
+		zBit := code & mask
+		minBit := zmin & mask
+		maxBit := zmax & mask
+		switch {
+		case zBit == 0 && minBit == 0 && maxBit == 0:
+			// Stay in the low half.
+		case zBit == 0 && minBit == 0 && maxBit != 0:
+			// Window spans both halves: the high half's minimum is a
+			// BIGMIN candidate; continue searching the low half.
+			bigmin = loadOnes(zmin, bit)
+			found = true
+			zmax = loadZeros(zmax, bit)
+		case zBit == 0 && minBit != 0 && maxBit != 0:
+			// Window entirely in the high half: its minimum is the answer.
+			return zmin, true
+		case zBit != 0 && minBit == 0 && maxBit == 0:
+			// Window entirely in the low half, code above it: no code in
+			// this quadrant exceeds code; the saved candidate (if any) is
+			// the answer.
+			return bigmin, found
+		case zBit != 0 && minBit == 0 && maxBit != 0:
+			// Continue in the high half.
+			zmin = loadOnes(zmin, bit)
+		case zBit != 0 && minBit != 0 && maxBit != 0:
+			// Stay in the high half.
+		default:
+			// minBit set but maxBit clear cannot happen for a valid window.
+			return bigmin, found
+		}
+	}
+	return bigmin, found
+}
+
+// loadOnes returns v with bit set and all lower bits of the same dimension
+// pattern... it sets bit `bit` and clears the lower bits that belong to the
+// same dimension (every second bit below), per the Tropf-Herzog LOAD
+// operation: value 10000... in the dimension of bit.
+func loadOnes(v uint64, bit int) uint64 {
+	mask := uint64(1) << uint(bit)
+	dim := dimMaskBelow(bit)
+	return (v &^ dim) | mask
+}
+
+// loadZeros clears bit `bit` and sets all lower bits of its dimension:
+// value 01111... in the dimension of bit.
+func loadZeros(v uint64, bit int) uint64 {
+	mask := uint64(1) << uint(bit)
+	dim := dimMaskBelow(bit)
+	return (v &^ mask) | (dim &^ mask)
+}
+
+// dimMaskBelow returns the mask of bits at and below `bit` belonging to the
+// same interleaved dimension (same parity).
+func dimMaskBelow(bit int) uint64 {
+	var base uint64 = 0x5555555555555555
+	if bit%2 == 1 {
+		base = 0xaaaaaaaaaaaaaaaa
+	}
+	// Bits strictly above `bit` are masked off; include `bit` itself.
+	keep := uint64(1)<<uint(bit) | (uint64(1)<<uint(bit) - 1)
+	return base & keep
+}

@@ -1,0 +1,124 @@
+package zcurve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveKnown(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{3, 3, 15},
+		{0xffffffff, 0, 0x5555555555555555},
+		{0, 0xffffffff, 0xaaaaaaaaaaaaaaaa},
+	}
+	for _, c := range cases {
+		if got := Interleave(c.x, c.y); got != c.want {
+			t.Errorf("Interleave(%d, %d) = %#x, want %#x", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Deinterleave(Interleave(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMonotoneInQuadrant(t *testing.T) {
+	// Within one dimension the curve is monotone: growing x (y fixed)
+	// grows the code.
+	f := func(x uint32, y uint32) bool {
+		if x == 0xffffffff {
+			return true
+		}
+		return Interleave(x, y) < Interleave(x+1, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteBigMin finds the smallest in-window code > code by linear scan over
+// a small grid.
+func bruteBigMin(code uint64, x1, y1, x2, y2 uint32) (uint64, bool) {
+	best := uint64(0)
+	found := false
+	for x := x1; x <= x2; x++ {
+		for y := y1; y <= y2; y++ {
+			z := Interleave(x, y)
+			if z > code && (!found || z < best) {
+				best = z
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestBigMinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		x1 := uint32(rng.Intn(24))
+		y1 := uint32(rng.Intn(24))
+		x2 := x1 + uint32(rng.Intn(8))
+		y2 := y1 + uint32(rng.Intn(8))
+		// Codes around the window, inside and outside.
+		code := Interleave(uint32(rng.Intn(36)), uint32(rng.Intn(36)))
+		got, gok := BigMin(code, x1, y1, x2, y2)
+		want, wok := bruteBigMin(code, x1, y1, x2, y2)
+		if gok != wok || (gok && got != want) {
+			t.Fatalf("BigMin(%#x, [%d,%d]..[%d,%d]) = (%#x, %v), want (%#x, %v)",
+				code, x1, y1, x2, y2, got, gok, want, wok)
+		}
+	}
+}
+
+func TestBigMinProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		x1 := rng.Uint32() >> 18
+		y1 := rng.Uint32() >> 18
+		x2 := x1 + rng.Uint32()>>24
+		y2 := y1 + rng.Uint32()>>24
+		code := Interleave(rng.Uint32()>>18, rng.Uint32()>>18)
+		bm, ok := BigMin(code, x1, y1, x2, y2)
+		if !ok {
+			// Nothing in the window above code: the window max must be <= code.
+			if zmax := Interleave(x2, y2); zmax > code {
+				// There may still genuinely be no in-window code > code even
+				// when zmax > code? No: zmax itself is in-window and > code.
+				t.Fatalf("BigMin said none, but zmax %#x > code %#x", zmax, code)
+			}
+			continue
+		}
+		if bm <= code {
+			t.Fatalf("BigMin %#x <= code %#x", bm, code)
+		}
+		if !InWindow(bm, x1, y1, x2, y2) {
+			t.Fatalf("BigMin %#x outside window", bm)
+		}
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	z := Interleave(5, 7)
+	if !InWindow(z, 5, 7, 5, 7) {
+		t.Error("exact cell must be in its own window")
+	}
+	if InWindow(z, 6, 7, 9, 9) {
+		t.Error("cell left of window reported inside")
+	}
+}

@@ -1,0 +1,66 @@
+package pdr_test
+
+import (
+	"testing"
+
+	"pdr"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// advertises: build a server, load objects, stream updates, query.
+func TestFacadeEndToEnd(t *testing.T) {
+	srv, err := pdr.NewServer(pdr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []pdr.State
+	for i := 0; i < 400; i++ {
+		states = append(states, pdr.State{
+			ID:  pdr.ObjectID(i),
+			Pos: pdr.Point{X: 480 + float64(i%20), Y: 480 + float64(i/20)},
+			Vel: pdr.Vec{X: 0.1, Y: 0.1},
+			Ref: 0,
+		})
+	}
+	if err := srv.Load(states); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move one object via a delete+insert pair.
+	old := states[0]
+	if err := srv.Tick(1, []pdr.Update{
+		pdr.NewDelete(old, 1),
+		pdr.NewInsert(pdr.State{ID: old.ID, Pos: pdr.Point{X: 100, Y: 100}, Ref: 1}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rho := pdr.RelativeThreshold(srv.NumObjects(), 3, srv.Config().Area)
+	q := pdr.Query{Rho: rho, L: 30, At: srv.Now() + 10}
+	res, err := srv.Snapshot(q, pdr.FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Region) == 0 {
+		t.Fatal("expected a dense region around the 400-object block")
+	}
+	if !res.Region.Contains(pdr.Point{X: 490, Y: 490}) {
+		t.Error("dense region must contain the block interior")
+	}
+
+	// The exact methods agree.
+	bf, err := srv.Snapshot(q, pdr.BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Region.DifferenceArea(bf.Region) + bf.Region.DifferenceArea(res.Region); d > 1e-6 {
+		t.Errorf("FR and BruteForce differ by area %g", d)
+	}
+}
+
+func TestRelativeThreshold(t *testing.T) {
+	area := pdr.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	if got := pdr.RelativeThreshold(500000, 5, area); got != 2.5 {
+		t.Errorf("RelativeThreshold = %g, want 2.5", got)
+	}
+}
