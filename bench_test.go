@@ -32,7 +32,9 @@ func runner(b *testing.B) *experiments.Runner {
 func BenchmarkTable1Setup(b *testing.B) {
 	r := runner(b)
 	for i := 0; i < b.N; i++ {
-		r.Table1(io.Discard)
+		if err := r.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -81,7 +81,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 
 	if all || exp == "table1" {
 		section("Table 1", "experimental setup")
-		r.Table1(os.Stdout)
+		if err := r.Table1(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if all || exp == "fig7" {
 		section("Fig 7", "example: dense regions found by FR and PA")
@@ -89,7 +91,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig7(os.Stdout, rows)
+		if err := experiments.PrintFig7(os.Stdout, rows); err != nil {
+			return err
+		}
 		if svgDir != "" {
 			paths, err := r.Fig7SVG(svgDir)
 			if err != nil {
@@ -111,7 +115,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 				return err
 			}
 		} else {
-			experiments.PrintFig8Accuracy(os.Stdout, rows)
+			if err := experiments.PrintFig8Accuracy(os.Stdout, rows); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "fig8c" || exp == "fig8d" {
@@ -125,7 +131,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 				return err
 			}
 		} else {
-			experiments.PrintFig8Memory(os.Stdout, rows)
+			if err := experiments.PrintFig8Memory(os.Stdout, rows); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "fig9a" {
@@ -139,7 +147,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 				return err
 			}
 		} else {
-			experiments.PrintFig9a(os.Stdout, rows)
+			if err := experiments.PrintFig9a(os.Stdout, rows); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "fig9b" {
@@ -148,7 +158,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig9b(os.Stdout, rows)
+		if err := experiments.PrintFig9b(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 	if all || exp == "fig10a" {
 		section("Fig 10(a)", "total query cost: PA vs FR")
@@ -161,7 +173,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 				return err
 			}
 		} else {
-			experiments.PrintFig10a(os.Stdout, rows)
+			if err := experiments.PrintFig10a(os.Stdout, rows); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "fig10b" {
@@ -175,7 +189,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 				return err
 			}
 		} else {
-			experiments.PrintFig10b(os.Stdout, rows)
+			if err := experiments.PrintFig10b(os.Stdout, rows); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "interval" {
@@ -184,7 +200,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 		if err != nil {
 			return err
 		}
-		experiments.PrintInterval(os.Stdout, rows)
+		if err := experiments.PrintInterval(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 	if all || exp == "baselines" {
 		section("Baselines", "prior-art methods (Figs 1-3 arguments) quantified vs exact PDR")
@@ -192,7 +210,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 		if err != nil {
 			return err
 		}
-		experiments.PrintBaselines(os.Stdout, rows)
+		if err := experiments.PrintBaselines(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 	if all || exp == "ablations" {
 		section("Ablations", "design choices called out in DESIGN.md")
@@ -222,7 +242,9 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 		rows = append(rows, fl...)
 		rows = append(rows, ix...)
 		rows = append(rows, mg...)
-		experiments.PrintAblation(os.Stdout, rows)
+		if err := experiments.PrintAblation(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 	switch exp {
 	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",

@@ -1,0 +1,119 @@
+// Command pdrvet runs the project's static-analysis suite (internal/lint)
+// over the module: stdlib-only analyzers that enforce the PDR engine's
+// conventions the compiler cannot check. See docs/LINT.md.
+//
+// Usage:
+//
+//	pdrvet [-only floateq,locked] [-list] [patterns]
+//
+// Patterns are module-relative ("./...", "./internal/geom", or full import
+// paths like "pdr/internal/service"); with none, or with "./...", the whole
+// module is analyzed. Exits 1 when findings remain after lint:ignore
+// suppression, 2 on load/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdr/internal/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer subset to run")
+		list = flag.Bool("list", false, "list analyzers and exit")
+		root = flag.String("root", ".", "module root (directory containing go.mod)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	mod, err := lint.LoadModule(*root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := load(mod, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "pdrvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// load resolves command-line patterns to packages. "./..." (or no
+// patterns) loads the whole module; "dir/..." loads the subtree; other
+// patterns load a single package by module-relative path or import path.
+func load(mod *lint.Module, patterns []string) ([]*lint.Package, error) {
+	all, err := mod.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return all, nil
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range all {
+			if matchPattern(mod, pat, pkg.Path) {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func matchPattern(mod *lint.Module, pat, pkgPath string) bool {
+	pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+	if pat == "" || pat == "." {
+		pat = "..."
+	}
+	// Normalize module-relative patterns to import paths.
+	if !strings.HasPrefix(pat, mod.Path) {
+		if pat == "..." {
+			pat = mod.Path + "/..."
+		} else {
+			pat = mod.Path + "/" + pat
+		}
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == rest || strings.HasPrefix(pkgPath, rest+"/")
+	}
+	return pkgPath == pat
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdrvet:", err)
+	os.Exit(2)
+}

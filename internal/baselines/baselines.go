@@ -50,12 +50,12 @@ func DenseCells(points []geom.Point, area geom.Rect, m int, rho float64) geom.Re
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
 			if float64(counts[i*m+j])/cellArea >= rho {
-				out.Add(geom.Rect{
-					MinX: area.MinX + float64(i)*w,
-					MinY: area.MinY + float64(j)*h,
-					MaxX: area.MinX + float64(i+1)*w,
-					MaxY: area.MinY + float64(j+1)*h,
-				})
+				out.Add(geom.NewRect(
+					area.MinX+float64(i)*w,
+					area.MinY+float64(j)*h,
+					area.MinX+float64(i+1)*w,
+					area.MinY+float64(j+1)*h,
+				))
 			}
 		}
 	}

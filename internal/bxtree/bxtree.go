@@ -183,6 +183,9 @@ func (x *Index) Delete(s motion.State) bool {
 		if removed {
 			p := x.phaseOf(s.Ref)
 			x.phases[p]--
+			if x.phases[p] < 0 {
+				panic(fmt.Sprintf("bxtree: phase %d entry count underflow", p)) // structural corruption; unrecoverable
+			}
 			if x.phases[p] == 0 {
 				delete(x.phases, p)
 			}

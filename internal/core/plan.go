@@ -33,6 +33,8 @@ func (s *Server) Recommend(q Query, allowApprox bool) (*Plan, error) {
 	if !allowApprox {
 		return &Plan{Method: FR, Reason: "exact answer required"}, nil
 	}
+	// lint:ignore floateq config identity: the surfaces answer only the
+	// exact l they were built for, so the planner must match it exactly.
 	if q.L != s.surf.L() {
 		return &Plan{Method: FR, Reason: fmt.Sprintf(
 			"approximation surfaces are built for l=%g, query uses l=%g", s.surf.L(), q.L)}, nil

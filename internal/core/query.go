@@ -7,6 +7,7 @@ import (
 	"pdr/internal/dh"
 	"pdr/internal/geom"
 	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
 	"pdr/internal/sweep"
 )
 
@@ -95,7 +96,7 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	}
 	res := &Result{Method: m}
 	ioBefore := s.pool.Stats()
-	start := time.Now()
+	sw := stopwatch.Start()
 	var err error
 	switch m {
 	case FR:
@@ -112,7 +113,7 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.CPU = time.Since(start)
+	res.CPU = sw.Elapsed()
 	res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
 	res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
 	return res, nil
@@ -157,6 +158,8 @@ func (s *Server) snapshotFR(q Query, res *Result) error {
 }
 
 func (s *Server) snapshotPA(q Query, res *Result) error {
+	// lint:ignore floateq config identity: the surfaces answer only the
+	// exact l they were built for; a nearly-equal l must be rejected too.
 	if q.L != s.surf.L() {
 		return fmt.Errorf("core: PA surfaces are built for l=%g, query asked l=%g (the approximation method fixes l in advance; use FR for other edges)",
 			s.surf.L(), q.L)
@@ -210,7 +213,7 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: bad query parameters rho=%g l=%g", q.Rho, q.L)
 	}
 	res := &Result{Method: BruteForce}
-	start := time.Now()
+	sw := stopwatch.Start()
 	points := s.hst.PointsAt(q.At)
 	for _, st := range s.live {
 		if st.Ref > q.At {
@@ -223,7 +226,7 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 	}
 	res.ObjectsRetrieved = len(points)
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
-	res.CPU = time.Since(start)
+	res.CPU = sw.Elapsed()
 	return res, nil
 }
 

@@ -103,7 +103,7 @@ type Config struct {
 // with OCR-lost digits reconstructed as documented in DESIGN.md).
 func DefaultConfig() Config {
 	return Config{
-		Area:     geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		Area:     geom.NewRect(0, 0, 1000, 1000),
 		U:        60,
 		W:        30,
 		HistM:    100,

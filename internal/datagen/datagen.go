@@ -57,7 +57,7 @@ type Config struct {
 // square, U=60 ticks, speeds 25..100 mph at one-minute ticks (0.42..1.67
 // miles/tick), skew 2.
 func DefaultConfig(n int) Config {
-	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	area := geom.NewRect(0, 0, 1000, 1000)
 	return Config{
 		N:         n,
 		Area:      area,

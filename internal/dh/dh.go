@@ -137,12 +137,12 @@ func (h *Histogram) cellIndex(p geom.Point) (int, int) {
 
 // CellRect returns the half-open rectangle of cell (i, j).
 func (h *Histogram) CellRect(i, j int) geom.Rect {
-	return geom.Rect{
-		MinX: h.cfg.Area.MinX + float64(i)*h.lcX,
-		MinY: h.cfg.Area.MinY + float64(j)*h.lcY,
-		MaxX: h.cfg.Area.MinX + float64(i+1)*h.lcX,
-		MaxY: h.cfg.Area.MinY + float64(j+1)*h.lcY,
-	}
+	return geom.NewRect(
+		h.cfg.Area.MinX+float64(i)*h.lcX,
+		h.cfg.Area.MinY+float64(j)*h.lcY,
+		h.cfg.Area.MinX+float64(i+1)*h.lcX,
+		h.cfg.Area.MinY+float64(j+1)*h.lcY,
+	)
 }
 
 // Insert adds the movement's predicted trajectory to every maintained

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"text/tabwriter"
 
 	"pdr/internal/baselines"
 	"pdr/internal/core"
@@ -110,11 +109,11 @@ func pct(num, den float64) float64 {
 }
 
 // PrintBaselines renders baseline-comparison rows.
-func PrintBaselines(w io.Writer, rows []BaselineRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\tcoverage%\texcess%\tnote")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\n", r.Method, r.CoveragePct, r.ExcessPct, r.Note)
+func PrintBaselines(w io.Writer, rows []BaselineRow) error {
+	r := newReport(w)
+	r.text("method\tcoverage%\texcess%\tnote")
+	for _, row := range rows {
+		r.linef("%s\t%.1f\t%.1f\t%s\n", row.Method, row.CoveragePct, row.ExcessPct, row.Note)
 	}
-	tw.Flush()
+	return r.flush()
 }

@@ -30,7 +30,9 @@ func TestRelRho(t *testing.T) {
 
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
-	testRunner().Table1(&buf)
+	if err := testRunner().Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"Page size", "update interval", "polynomial"} {
 		if !strings.Contains(out, want) {
@@ -51,7 +53,9 @@ func TestFig7(t *testing.T) {
 		t.Errorf("unexpected methods: %+v", rows)
 	}
 	var buf bytes.Buffer
-	PrintFig7(&buf, rows)
+	if err := PrintFig7(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "FR") {
 		t.Error("PrintFig7 output malformed")
 	}
@@ -77,7 +81,9 @@ func TestFig8AccuracyShapes(t *testing.T) {
 		t.Errorf("expected PA total error (%.1f) below DH total error (%.1f)", paErr, dhErr)
 	}
 	var buf bytes.Buffer
-	PrintFig8Accuracy(&buf, rows)
+	if err := PrintFig8Accuracy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if len(strings.Split(buf.String(), "\n")) < len(rows) {
 		t.Error("PrintFig8Accuracy output malformed")
 	}
@@ -104,7 +110,9 @@ func TestFig8Memory(t *testing.T) {
 		t.Fatalf("memory sweep too small: DH=%d PA=%d", dhN, paN)
 	}
 	var buf bytes.Buffer
-	PrintFig8Memory(&buf, rows)
+	if err := PrintFig8Memory(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "memory MB") {
 		t.Error("PrintFig8Memory output malformed")
 	}
@@ -125,7 +133,9 @@ func TestFig9a(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	PrintFig9a(&buf, rows)
+	if err := PrintFig9a(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "PA CPU") {
 		t.Error("PrintFig9a output malformed")
 	}
@@ -157,7 +167,9 @@ func TestFig9b(t *testing.T) {
 		t.Errorf("expected PA per-update (%v) > DH per-update (%v)", paPer, dhPer)
 	}
 	var buf bytes.Buffer
-	PrintFig9b(&buf, rows)
+	if err := PrintFig9b(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "update") {
 		t.Error("PrintFig9b output malformed")
 	}
@@ -183,7 +195,9 @@ func TestFig10a(t *testing.T) {
 		t.Errorf("expected FR total (%v) > PA total (%v)", fr, pa)
 	}
 	var buf bytes.Buffer
-	PrintFig10a(&buf, rows)
+	if err := PrintFig10a(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "FR total") {
 		t.Error("PrintFig10a output malformed")
 	}
@@ -199,7 +213,9 @@ func TestFig10b(t *testing.T) {
 		t.Fatalf("got %d rows, want 2", len(rows))
 	}
 	var buf bytes.Buffer
-	PrintFig10b(&buf, rows)
+	if err := PrintFig10b(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "PA total") {
 		t.Error("PrintFig10b output malformed")
 	}
@@ -243,7 +259,9 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("AblationMergeCandidates rows = %d", len(mg))
 	}
 	var buf bytes.Buffer
-	PrintAblation(&buf, append(append(append(append(bb, lp...), fl...), ix...), mg...))
+	if err := PrintAblation(&buf, append(append(append(append(bb, lp...), fl...), ix...), mg...)); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "ablation") {
 		t.Error("PrintAblation output malformed")
 	}
@@ -281,7 +299,9 @@ func TestBaselineComparison(t *testing.T) {
 		t.Errorf("dense-cell coverage %g%% — expected answer loss (<100%%)", dcRow.CoveragePct)
 	}
 	var buf bytes.Buffer
-	PrintBaselines(&buf, rows)
+	if err := PrintBaselines(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "coverage%") {
 		t.Error("PrintBaselines output malformed")
 	}
@@ -343,7 +363,9 @@ func TestExtIntervalCost(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	PrintInterval(&buf, rows)
+	if err := PrintInterval(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "window") {
 		t.Error("PrintInterval output malformed")
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"text/tabwriter"
 	"time"
 
 	"pdr/internal/core"
@@ -56,22 +55,22 @@ func (r *Runner) envAt(l float64, n int) (*Env, error) {
 // ---------------------------------------------------------------- Table 1
 
 // Table1 renders the experimental setup (paper Table 1) as rendered rows.
-func (r *Runner) Table1(w io.Writer) {
+func (r *Runner) Table1(w io.Writer) error {
 	cfg := ServerConfig(r.P)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Parameter\tValue")
-	fmt.Fprintf(tw, "Page size\t%d B\n", 4096)
-	fmt.Fprintf(tw, "Random disk access time\t%v\n", cfg.IOCharge)
-	fmt.Fprintf(tw, "Maximum update interval (U)\t%d\n", cfg.U)
-	fmt.Fprintf(tw, "Prediction window length (W)\t%d\n", cfg.W)
-	fmt.Fprintf(tw, "Edge length of l-square (l)\t%v\n", r.P.Ls)
-	fmt.Fprintf(tw, "Number of objects\t%d\n", r.P.N)
-	fmt.Fprintf(tw, "Relative density threshold (varrho)\t%v\n", r.P.Varrhos)
-	fmt.Fprintf(tw, "Density histogram cells (m x m)\t%d\n", cfg.HistM*cfg.HistM)
-	fmt.Fprintf(tw, "Num. polynomials (g x g)\t%d\n", cfg.PAGrid*cfg.PAGrid)
-	fmt.Fprintf(tw, "Degree of polynomial (k)\t%d\n", cfg.PADegree)
-	fmt.Fprintf(tw, "Grid for polynomial evaluation (md x md)\t%d x %d\n", cfg.PAMD, cfg.PAMD)
-	tw.Flush()
+	rep := newReport(w)
+	rep.text("Parameter\tValue")
+	rep.linef("Page size\t%d B\n", 4096)
+	rep.linef("Random disk access time\t%v\n", cfg.IOCharge)
+	rep.linef("Maximum update interval (U)\t%d\n", cfg.U)
+	rep.linef("Prediction window length (W)\t%d\n", cfg.W)
+	rep.linef("Edge length of l-square (l)\t%v\n", r.P.Ls)
+	rep.linef("Number of objects\t%d\n", r.P.N)
+	rep.linef("Relative density threshold (varrho)\t%v\n", r.P.Varrhos)
+	rep.linef("Density histogram cells (m x m)\t%d\n", cfg.HistM*cfg.HistM)
+	rep.linef("Num. polynomials (g x g)\t%d\n", cfg.PAGrid*cfg.PAGrid)
+	rep.linef("Degree of polynomial (k)\t%d\n", cfg.PADegree)
+	rep.linef("Grid for polynomial evaluation (md x md)\t%d x %d\n", cfg.PAMD, cfg.PAMD)
+	return rep.flush()
 }
 
 // ---------------------------------------------------------------- Fig 7

@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
-	"text/tabwriter"
 	"time"
 
 	"pdr/internal/core"
@@ -62,11 +60,11 @@ func (r *Runner) ExtIntervalCost(widths []int) ([]IntervalRow, error) {
 }
 
 // PrintInterval renders the extension study rows.
-func PrintInterval(w io.Writer, rows []IntervalRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "window\tPA total\tDH total\tarea growth %")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%+.1f\n", r.Window, fmtDur(r.PATotal), fmtDur(r.DHTotal), r.AreaGrowthPct)
+func PrintInterval(w io.Writer, rows []IntervalRow) error {
+	r := newReport(w)
+	r.text("window\tPA total\tDH total\tarea growth %")
+	for _, row := range rows {
+		r.linef("%d\t%s\t%s\t%+.1f\n", row.Window, fmtDur(row.PATotal), fmtDur(row.DHTotal), row.AreaGrowthPct)
 	}
-	tw.Flush()
+	return r.flush()
 }

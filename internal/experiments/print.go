@@ -1,88 +1,84 @@
 package experiments
 
-import (
-	"fmt"
-	"io"
-	"text/tabwriter"
-)
+import "io"
 
 // PrintFig7 renders Fig. 7 rows.
-func PrintFig7(w io.Writer, rows []Fig7Row) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\trects\tarea\tr_fp%\tr_fn%")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f\t%.2f\n", r.Method, r.Rects, r.Area, r.RfpPct, r.RfnPct)
+func PrintFig7(w io.Writer, rows []Fig7Row) error {
+	r := newReport(w)
+	r.text("method\trects\tarea\tr_fp%\tr_fn%")
+	for _, row := range rows {
+		r.linef("%s\t%d\t%.1f\t%.2f\t%.2f\n", row.Method, row.Rects, row.Area, row.RfpPct, row.RfnPct)
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig8Accuracy renders Fig. 8(a)/8(b) rows.
-func PrintFig8Accuracy(w io.Writer, rows []AccuracyRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "l\tvarrho\tPA r_fp%\tPA r_fn%\topt-DH r_fp%\tpess-DH r_fn%")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-			r.L, r.Varrho, r.PAfpPct, r.PAfnPct, r.DHOptPct, r.DHPessPct)
+func PrintFig8Accuracy(w io.Writer, rows []AccuracyRow) error {
+	r := newReport(w)
+	r.text("l\tvarrho\tPA r_fp%\tPA r_fn%\topt-DH r_fp%\tpess-DH r_fn%")
+	for _, row := range rows {
+		r.linef("%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			row.L, row.Varrho, row.PAfpPct, row.PAfnPct, row.DHOptPct, row.DHPessPct)
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig8Memory renders Fig. 8(c)/8(d) rows.
-func PrintFig8Memory(w io.Writer, rows []MemoryRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\tconfig\tmemory MB\tr_fp%\tr_fn%")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n", r.Method, r.Config, r.MemoryMB, r.RfpPct, r.RfnPct)
+func PrintFig8Memory(w io.Writer, rows []MemoryRow) error {
+	r := newReport(w)
+	r.text("method\tconfig\tmemory MB\tr_fp%\tr_fn%")
+	for _, row := range rows {
+		r.linef("%s\t%s\t%.2f\t%.2f\t%.2f\n", row.Method, row.Config, row.MemoryMB, row.RfpPct, row.RfnPct)
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig9a renders Fig. 9(a) rows.
-func PrintFig9a(w io.Writer, rows []QueryCPURow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "l\tvarrho\tPA CPU\tDH CPU")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%.0f\t%.0f\t%s\t%s\n", r.L, r.Varrho, fmtDur(r.PACPU), fmtDur(r.DHCPU))
+func PrintFig9a(w io.Writer, rows []QueryCPURow) error {
+	r := newReport(w)
+	r.text("l\tvarrho\tPA CPU\tDH CPU")
+	for _, row := range rows {
+		r.linef("%.0f\t%.0f\t%s\t%s\n", row.L, row.Varrho, fmtDur(row.PACPU), fmtDur(row.DHCPU))
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig9b renders Fig. 9(b) rows.
-func PrintFig9b(w io.Writer, rows []BuildCPURow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\tCPU per location update")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%v\n", r.Method, r.PerUpdate)
+func PrintFig9b(w io.Writer, rows []BuildCPURow) error {
+	r := newReport(w)
+	r.text("method\tCPU per location update")
+	for _, row := range rows {
+		r.linef("%s\t%v\n", row.Method, row.PerUpdate)
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig10a renders Fig. 10(a) rows.
-func PrintFig10a(w io.Writer, rows []QueryCostRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "l\tvarrho\tPA total\tFR total\tFR IOs")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%.0f\t%.0f\t%s\t%s\t%d\n", r.L, r.Varrho, fmtDur(r.PATotal), fmtDur(r.FRTotal), r.FRIOs)
+func PrintFig10a(w io.Writer, rows []QueryCostRow) error {
+	r := newReport(w)
+	r.text("l\tvarrho\tPA total\tFR total\tFR IOs")
+	for _, row := range rows {
+		r.linef("%.0f\t%.0f\t%s\t%s\t%d\n", row.L, row.Varrho, fmtDur(row.PATotal), fmtDur(row.FRTotal), row.FRIOs)
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintFig10b renders Fig. 10(b) rows.
-func PrintFig10b(w io.Writer, rows []ScaleRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "N\tPA total\tFR total")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%s\t%s\n", r.N, fmtDur(r.PATotal), fmtDur(r.FRTotal))
+func PrintFig10b(w io.Writer, rows []ScaleRow) error {
+	r := newReport(w)
+	r.text("N\tPA total\tFR total")
+	for _, row := range rows {
+		r.linef("%d\t%s\t%s\n", row.N, fmtDur(row.PATotal), fmtDur(row.FRTotal))
 	}
-	tw.Flush()
+	return r.flush()
 }
 
 // PrintAblation renders ablation rows.
-func PrintAblation(w io.Writer, rows []AblationRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ablation\tvariant\tmetric\tvalue")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name, r.Variant, r.Metric, r.Value)
+func PrintAblation(w io.Writer, rows []AblationRow) error {
+	r := newReport(w)
+	r.text("ablation\tvariant\tmetric\tvalue")
+	for _, row := range rows {
+		r.linef("%s\t%s\t%s\t%s\n", row.Name, row.Variant, row.Metric, row.Value)
 	}
-	tw.Flush()
+	return r.flush()
 }

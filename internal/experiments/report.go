@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// report is a sticky-error tabwriter for the Print* render helpers: every
+// write funnels through it, the first failure is remembered, and flush
+// surfaces it once at the end — so a full disk or closed pipe turns into
+// an error instead of a silently truncated table.
+type report struct {
+	tw  *tabwriter.Writer
+	err error
+}
+
+func newReport(w io.Writer) *report {
+	return &report{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+// text writes s verbatim plus a newline (no format expansion — header rows
+// contain literal % signs).
+func (r *report) text(s string) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintln(r.tw, s)
+	}
+}
+
+// linef writes one formatted row.
+func (r *report) linef(format string, args ...any) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintf(r.tw, format, args...)
+	}
+}
+
+// flush aligns and emits the table, returning the first error seen.
+func (r *report) flush() error {
+	if r.err == nil {
+		r.err = r.tw.Flush()
+	}
+	return r.err
+}

@@ -29,17 +29,25 @@ func Coalesce(g Region) Region {
 	// Pass 1: merge horizontal runs within (MinY, MaxY) bands.
 	sort.Slice(work, func(i, j int) bool {
 		a, b := work[i], work[j]
-		if a.MinY != b.MinY {
-			return a.MinY < b.MinY
+		if a.MinY < b.MinY {
+			return true
 		}
-		if a.MaxY != b.MaxY {
-			return a.MaxY < b.MaxY
+		if a.MinY > b.MinY {
+			return false
+		}
+		if a.MaxY < b.MaxY {
+			return true
+		}
+		if a.MaxY > b.MaxY {
+			return false
 		}
 		return a.MinX < b.MinX
 	})
 	merged := work[:1]
 	for _, r := range work[1:] {
 		last := &merged[len(merged)-1]
+		// lint:ignore floateq runs may merge only when their band edges are
+		// bit-identical; an epsilon would grow the covered point set.
 		if r.MinY == last.MinY && r.MaxY == last.MaxY && r.MinX <= last.MaxX {
 			if r.MaxX > last.MaxX {
 				last.MaxX = r.MaxX
@@ -52,17 +60,25 @@ func Coalesce(g Region) Region {
 	// Pass 2: stack vertical runs with identical X extents.
 	sort.Slice(merged, func(i, j int) bool {
 		a, b := merged[i], merged[j]
-		if a.MinX != b.MinX {
-			return a.MinX < b.MinX
+		if a.MinX < b.MinX {
+			return true
 		}
-		if a.MaxX != b.MaxX {
-			return a.MaxX < b.MaxX
+		if a.MinX > b.MinX {
+			return false
+		}
+		if a.MaxX < b.MaxX {
+			return true
+		}
+		if a.MaxX > b.MaxX {
+			return false
 		}
 		return a.MinY < b.MinY
 	})
 	out := merged[:1]
 	for _, r := range merged[1:] {
 		last := &out[len(out)-1]
+		// lint:ignore floateq runs may stack only when their X extents are
+		// bit-identical; an epsilon would grow the covered point set.
 		if r.MinX == last.MinX && r.MaxX == last.MaxX && r.MinY <= last.MaxY {
 			if r.MaxY > last.MaxY {
 				last.MaxY = r.MaxY

@@ -62,6 +62,8 @@ func UnionArea(rects []Rect) float64 {
 func dedupFloat64s(s []float64) []float64 {
 	out := s[:0]
 	for i, v := range s {
+		// lint:ignore floateq dedup of sorted coordinates removes only
+		// bit-identical neighbors; epsilon would merge distinct cell edges.
 		if i == 0 || v != s[i-1] {
 			out = append(out, v)
 		}

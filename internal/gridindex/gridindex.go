@@ -129,12 +129,12 @@ func (g *Index) cellIdx(p geom.Point) int {
 
 func (g *Index) cellRect(idx int) geom.Rect {
 	i, j := idx/g.m, idx%g.m
-	return geom.Rect{
-		MinX: g.area.MinX + float64(i)*g.cellW,
-		MinY: g.area.MinY + float64(j)*g.cellH,
-		MaxX: g.area.MinX + float64(i+1)*g.cellW,
-		MaxY: g.area.MinY + float64(j+1)*g.cellH,
-	}
+	return geom.NewRect(
+		g.area.MinX+float64(i)*g.cellW,
+		g.area.MinY+float64(j)*g.cellH,
+		g.area.MinX+float64(i+1)*g.cellW,
+		g.area.MinY+float64(j+1)*g.cellH,
+	)
 }
 
 func (g *Index) readPage(id storage.PageID) *page {

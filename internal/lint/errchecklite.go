@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errCheckPackages are the serialization boundaries where a silently
+// dropped write error turns into a truncated HTTP response or a corrupt
+// workload file.
+var errCheckPackages = map[string]bool{
+	"pdr/internal/service":     true,
+	"pdr/internal/wire":        true,
+	"pdr/internal/experiments": true,
+}
+
+// errCheckMethods are the writer-shaped methods whose error result must
+// not be dropped (when the callee's last result is an error).
+var errCheckMethods = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true,
+	"WriteByte": true, "WriteRune": true, "Flush": true,
+	"WriteAll": true, // encoding/csv
+}
+
+// AnalyzerErrCheckLite flags expression statements that drop the error
+// from encoder/writer calls in the serialization packages. Assigning to
+// blank (`_ = w.Write(b)`) is an explicit acknowledgment and is allowed.
+var AnalyzerErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flags dropped errors from Encode/Write/Fprint calls in service, wire and experiments",
+	Run:  runErrCheckLite,
+}
+
+func runErrCheckLite(p *Pass) {
+	if !errCheckPackages[p.Path] {
+		return
+	}
+	p.Inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || !returnsError(p, call) {
+			return true
+		}
+		name, qualified := calleeName(p, call)
+		if !errCheckMethods[name] && !fprintFuncs[qualified] {
+			return true
+		}
+		what := name
+		if qualified != "" {
+			what = qualified
+		}
+		p.Reportf(call.Pos(), "dropped error from %s; handle it or acknowledge with `_ =`", what)
+		return true
+	})
+}
+
+var fprintFuncs = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// returnsError reports whether the call's only or last result is error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return t != nil && isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// calleeName returns the bare selector/function name and, when the callee
+// is a package-level function of an imported package, its "pkg.Func" form.
+func calleeName(p *Pass, call *ast.CallExpr) (name, qualified string) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if pn := p.PkgNameOf(fun.X); pn != nil {
+			qualified = pn.Imported().Name() + "." + name
+		}
+	case *ast.Ident:
+		name = fun.Name
+	}
+	return name, qualified
+}

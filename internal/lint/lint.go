@@ -1,0 +1,231 @@
+// Package lint is pdrvet's analysis framework: a stdlib-only module loader
+// (go/parser + go/types) plus a pluggable set of analyzers that enforce the
+// PDR engine's un-compilable invariants — half-open rectangle semantics,
+// the single-writer mutex discipline, simulation-time purity, seeded
+// randomness, epsilon-safe float comparison, checked encode/write errors,
+// and uniform index-corruption panics.
+//
+// Diagnostics carry file:line:col positions. A finding can be suppressed by
+// a directive comment on the same line or the line above:
+//
+//	// lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself a
+// finding. The analyzer list may be "all".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding as file:line:col: [analyzer] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package import path (e.g. "pdr/internal/geom").
+	Path string
+	Fset *token.FileSet
+	// Files are the package's parsed sources (tests excluded).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// PkgNameOf resolves e to the imported package it names, or nil. It answers
+// "is this selector's base the package time/math-rand/...?" questions.
+func (p *Pass) PkgNameOf(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.Info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// Inspect walks every file of the pass.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerFloatEq,
+		AnalyzerHalfOpen,
+		AnalyzerLocked,
+		AnalyzerWallClock,
+		AnalyzerRandSeed,
+		AnalyzerErrCheckLite,
+		AnalyzerPanicPrefix,
+	}
+}
+
+// ByName returns the named analyzers from All, erroring on unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position, with lint:ignore suppression applied.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, applyIgnores(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means "all"
+	file      string
+	line      int // line the directive appears on
+	target    int // first line after the directive's comment group
+}
+
+// matches reports whether the directive covers analyzer a at file:l. A
+// directive covers its own line (trailing-comment form) and the first line
+// after its comment group (standalone form, possibly wrapped over several
+// comment lines).
+func (d ignoreDirective) matches(a, file string, l int) bool {
+	if file != d.file || (l != d.line && l != d.target) {
+		return false
+	}
+	return d.analyzers == nil || d.analyzers[a]
+}
+
+const ignorePrefix = "lint:ignore"
+
+// applyIgnores drops diagnostics covered by a well-formed ignore directive
+// and adds a finding for every malformed one (missing reason).
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var directives []ignoreDirective
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				line := pkg.Fset.Position(c.Pos()).Line
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Message:  "malformed lint:ignore: want \"lint:ignore <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				d := ignoreDirective{
+					file:   pkg.Fset.Position(c.Pos()).Filename,
+					line:   line,
+					target: pkg.Fset.Position(cg.End()).Line + 1,
+				}
+				if fields[0] != "all" {
+					d.analyzers = make(map[string]bool)
+					for _, n := range strings.Split(fields[0], ",") {
+						d.analyzers[n] = true
+					}
+				}
+				directives = append(directives, d)
+			}
+		}
+	}
+	out := malformed
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.matches(diag.Analyzer, diag.Pos.Filename, diag.Pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testModule loads the real module once for every fixture check: fixtures
+// impersonate module-local import paths, and their imports (pdr/internal/geom,
+// sync, time, ...) resolve through the same loader pdrvet uses.
+var testModule = sync.OnceValues(func() (*Module, error) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root)
+})
+
+// analyze type-checks src as a single-file package under the given import
+// path and runs the named analyzers over it (plus ignore handling).
+func analyze(t *testing.T, path, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	m, err := testModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	pkg, err := m.CheckSource(path, map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatalf("checking fixture: %v", err)
+	}
+	return Run([]*Package{pkg}, analyzers)
+}
+
+// wantFindings asserts the number of diagnostics and that each carries the
+// expected analyzer name.
+func wantFindings(t *testing.T, diags []Diagnostic, analyzer string, n int) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), n, diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != analyzer {
+			t.Errorf("finding %v attributed to %q, want %q", d, d.Analyzer, analyzer)
+		}
+	}
+}
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags exact comparison", "pdr/internal/x", `package x
+func f(a, b float64) bool { return a == b }
+`, 1},
+		{"flags not-equal too", "pdr/internal/x", `package x
+func f(a, b float32) bool { return a != b }
+`, 1},
+		{"constant sentinel allowed", "pdr/internal/x", `package x
+func f(a float64) bool { return a == 0 }
+`, 0},
+		{"integer comparison ignored", "pdr/internal/x", `package x
+func f(a, b int) bool { return a == b }
+`, 0},
+		{"approved epsilon helper exempt", "pdr/internal/geom", `package geom
+func ApproxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return false
+}
+`, 0},
+		{"trailing ignore suppresses", "pdr/internal/x", `package x
+func f(a, b float64) bool {
+	return a == b // lint:ignore floateq test fixture
+}
+`, 0},
+		{"standalone ignore suppresses next line", "pdr/internal/x", `package x
+func f(a, b float64) bool {
+	// lint:ignore floateq test fixture reason
+	// that wraps over two comment lines.
+	return a == b
+}
+`, 0},
+		{"ignore for another analyzer does not suppress", "pdr/internal/x", `package x
+func f(a, b float64) bool {
+	return a == b // lint:ignore wallclock wrong analyzer
+}
+`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerFloatEq), "floateq", tc.want)
+		})
+	}
+}
+
+func TestHalfOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags Rect literal outside geom", "pdr/internal/x", `package x
+import "pdr/internal/geom"
+var r = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+`, 1},
+		{"constructor allowed", "pdr/internal/x", `package x
+import "pdr/internal/geom"
+var r = geom.NewRect(0, 0, 1, 1)
+`, 0},
+		{"inside geom exempt", "pdr/internal/geom", `package geom
+type Rect struct{ MinX, MinY, MaxX, MaxY float64 }
+var r = Rect{MinX: 0, MaxX: 1}
+`, 0},
+		{"ignore suppresses", "pdr/internal/x", `package x
+import "pdr/internal/geom"
+// lint:ignore halfopen test fixture
+var r = geom.Rect{MinX: 0, MaxX: 1}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerHalfOpen), "halfopen", tc.want)
+		})
+	}
+}
+
+func TestLocked(t *testing.T) {
+	const structDecl = `package x
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+`
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"flags unlocked access", structDecl + `
+func (s *S) Bad() int { return s.n }
+`, 1},
+		{"lock before access allowed", structDecl + `
+func (s *S) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+`, 0},
+		{"RLock counts", `package x
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+func (s *S) Good() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+`, 0},
+		{"Locked suffix exempt", structDecl + `
+func (s *S) ReadLocked() int { return s.n }
+`, 0},
+		{"unguarded field ignored", `package x
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func (s *S) Free() int { return s.n }
+`, 0},
+		{"ignore suppresses", structDecl + `
+func (s *S) Escape() int {
+	return s.n // lint:ignore locked test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, "pdr/internal/x", tc.src, AnalyzerLocked), "locked", tc.want)
+		})
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	const clockSrc = `package core
+import "time"
+func f() time.Time { return time.Now() }
+`
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags time.Now in core", "pdr/internal/core", clockSrc, 1},
+		{"flags time.Since in an index", "pdr/internal/bptree", `package bptree
+import "time"
+func f(t0 time.Time) time.Duration { return time.Since(t0) }
+`, 1},
+		{"unrestricted package allowed", "pdr/internal/x", clockSrc, 0},
+		{"duration arithmetic allowed", "pdr/internal/core", `package core
+import "time"
+func f(d time.Duration) time.Duration { return 2 * d }
+`, 0},
+		{"ignore suppresses", "pdr/internal/core", `package core
+import "time"
+func f() time.Time {
+	return time.Now() // lint:ignore wallclock test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerWallClock), "wallclock", tc.want)
+		})
+	}
+}
+
+func TestRandSeed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"flags global draw", `package x
+import "math/rand"
+func f() int { return rand.Int() }
+`, 1},
+		{"seeded generator allowed", `package x
+import "math/rand"
+func f() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`, 0},
+		{"type reference allowed", `package x
+import "math/rand"
+func f(r *rand.Rand) float64 { return r.Float64() }
+`, 0},
+		{"ignore suppresses", `package x
+import "math/rand"
+func f() int {
+	return rand.Int() // lint:ignore randseed test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, "pdr/internal/x", tc.src, AnalyzerRandSeed), "randseed", tc.want)
+		})
+	}
+}
+
+func TestErrCheckLite(t *testing.T) {
+	const dropSrc = `package service
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+func f(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v)
+	fmt.Fprintln(w, "x")
+}
+`
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags dropped Encode and Fprintln", "pdr/internal/service", dropSrc, 2},
+		{"blank assignment acknowledged", "pdr/internal/service", `package service
+import (
+	"encoding/json"
+	"io"
+)
+func f(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+`, 0},
+		{"handled error allowed", "pdr/internal/wire", `package wire
+import "io"
+func f(w io.Writer) error {
+	_, err := w.Write([]byte("x"))
+	return err
+}
+`, 0},
+		{"unrestricted package allowed", "pdr/internal/x", dropSrc, 0},
+		{"ignore suppresses", "pdr/internal/experiments", `package experiments
+import (
+	"fmt"
+	"io"
+)
+func f(w io.Writer) {
+	fmt.Fprintln(w, "x") // lint:ignore errchecklite test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerErrCheckLite), "errchecklite", tc.want)
+		})
+	}
+}
+
+func TestPanicPrefix(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags unprefixed panic", "pdr/internal/bptree", `package bptree
+func f() { panic("boom") }
+`, 1},
+		{"prefixed literal allowed", "pdr/internal/bptree", `package bptree
+func f() { panic("bptree: boom") }
+`, 0},
+		{"prefixed Sprintf allowed", "pdr/internal/bxtree", `package bxtree
+import "fmt"
+func f(n int) { panic(fmt.Sprintf("bxtree: phase %d underflow", n)) }
+`, 0},
+		{"wrong-package prefix flagged", "pdr/internal/gridindex", `package gridindex
+func f() { panic("tprtree: boom") }
+`, 1},
+		{"dynamic message left to humans", "pdr/internal/bptree", `package bptree
+func f(err error) { panic(err) }
+`, 0},
+		{"unrestricted package allowed", "pdr/internal/x", `package x
+func f() { panic("boom") }
+`, 0},
+		{"concatenation checks left spine", "pdr/internal/tprtree", `package tprtree
+func f(msg string) { panic("tprtree: " + msg) }
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerPanicPrefix), "panicprefix", tc.want)
+		})
+	}
+}
+
+func TestMalformedIgnoreDirective(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+func f(a, b float64) bool {
+	return a == b // lint:ignore floateq
+}
+`, AnalyzerFloatEq)
+	// The reason-less directive does not suppress, and is itself reported.
+	var directive, floateq int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive++
+		case "floateq":
+			floateq++
+		}
+	}
+	if directive != 1 || floateq != 1 {
+		t.Fatalf("got %d directive + %d floateq findings, want 1 + 1:\n%v", directive, floateq, diags)
+	}
+}
+
+func TestIgnoreAll(t *testing.T) {
+	diags := analyze(t, "pdr/internal/core", `package core
+import "time"
+func f(a, b float64) bool {
+	return a == b && time.Now().IsZero() // lint:ignore all test fixture
+}
+`, AnalyzerFloatEq, AnalyzerWallClock)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"floateq", "wallclock"})
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName(floateq,wallclock) = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName(nosuch) did not error")
+	}
+}
+
+// TestSuiteIsClean runs the full analyzer suite over the real module — the
+// committed tree must stay finding-free (the same gate scripts/check.sh
+// enforces via cmd/pdrvet).
+func TestSuiteIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	m, err := testModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	pkgs, err := m.LoadAll()
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

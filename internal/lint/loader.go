@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (*_test.go) are excluded: pdrvet enforces production
+// invariants; tests may deliberately construct degenerate values.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module loads and type-checks every package of one Go module using only
+// the standard library: local packages are resolved against the module root
+// and standard-library imports are type-checked from GOROOT source via
+// go/importer's "source" compiler.
+type Module struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	Fset *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// LoadModule locates go.mod at root and prepares a loader. Packages are
+// loaded lazily by import path (or all at once via LoadAll).
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s is not a module root: %w", abs, err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Module{
+		Root:    abs,
+		Path:    modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// LoadAll walks the module tree and loads every directory that contains
+// non-test Go files, returning the packages sorted by import path.
+func (m *Module) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(m.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if has, err := hasGoFiles(p); err != nil {
+			return err
+		} else if has {
+			rel, err := filepath.Rel(m.Root, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, m.Path)
+			} else {
+				paths = append(paths, m.Path+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := m.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Load parses and type-checks the package with the given module-local
+// import path (memoized).
+func (m *Module) Load(path string) (*Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	dir := m.Root
+	if path != m.Path {
+		rel, ok := strings.CutPrefix(path, m.Path+"/")
+		if !ok {
+			return nil, fmt.Errorf("lint: %s is outside module %s", path, m.Path)
+		}
+		dir = filepath.Join(m.Root, filepath.FromSlash(rel))
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, err := m.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// CheckSource type-checks an in-memory package under the given import
+// path — the analyzer tests use it to run the suite over small fixtures,
+// including fixtures that impersonate restricted paths like
+// "pdr/internal/core". The result is not cached.
+func (m *Module) CheckSource(path string, sources map[string]string) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return m.check(path, files)
+}
+
+func (m *Module) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: m}
+	tpkg, err := cfg.Check(path, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: m.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer: module-local paths load from the module
+// tree, everything else from GOROOT source.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}

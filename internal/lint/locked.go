@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerLocked enforces the single-writer engine discipline: in any
+// struct that owns a `mu` sync.Mutex/RWMutex, fields whose declaration
+// comment says "guarded by mu" may only be touched by methods that call
+// mu.Lock/RLock earlier in the same body. Methods whose name ends in
+// "Locked" are exempt — by convention their caller already holds mu.
+//
+// The check is intra-procedural and position-based (a Lock call textually
+// before the first guarded access), which is exactly the shape every
+// handler in internal/service follows: lock at the top, defer unlock, then
+// use srv/mon.
+var AnalyzerLocked = &Analyzer{
+	Name: "locked",
+	Doc:  "flags methods touching \"guarded by mu\" fields without locking mu first",
+	Run:  runLocked,
+}
+
+const guardMarker = "guarded by mu"
+
+// guardedFields maps struct type name -> set of guarded field names for
+// structs that have a mu mutex field.
+func guardedFields(p *Pass) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			hasMu := false
+			guarded := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if name.Name == "mu" && isMutex(p.TypeOf(field.Type)) {
+						hasMu = true
+					}
+					if fieldCommentHas(field, guardMarker) {
+						guarded[name.Name] = true
+					}
+				}
+			}
+			if hasMu && len(guarded) > 0 {
+				out[ts.Name.Name] = guarded
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldCommentHas(field *ast.Field, marker string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg != nil && strings.Contains(strings.ToLower(cg.Text()), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func runLocked(p *Pass) {
+	guarded := guardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			recvName, typeName := receiver(fd)
+			fields, ok := guarded[typeName]
+			if !ok || recvName == "" {
+				continue
+			}
+			checkLockDiscipline(p, fd, recvName, fields)
+		}
+	}
+}
+
+// receiver returns the receiver variable name and its (dereferenced) type
+// name, e.g. ("s", "Service") for func (s *Service).
+func receiver(fd *ast.FuncDecl) (recvName, typeName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	r := fd.Recv.List[0]
+	if len(r.Names) == 1 {
+		recvName = r.Names[0].Name
+	}
+	t := r.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName
+}
+
+func checkLockDiscipline(p *Pass, fd *ast.FuncDecl, recvName string, fields map[string]bool) {
+	lockPos := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "mu" {
+			return true
+		}
+		if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
+			if lockPos == token.Pos(-1) || call.Pos() < lockPos {
+				lockPos = call.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !fields[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return true
+		}
+		if lockPos == token.Pos(-1) || sel.Pos() < lockPos {
+			p.Reportf(sel.Pos(), "%s.%s accesses %s.%s (guarded by mu) without holding mu; lock first, rename the method *Locked if the caller locks, or lint:ignore with a reason", receiverTypeName(fd), fd.Name.Name, recvName, sel.Sel.Name)
+			return false // one report per access chain
+		}
+		return true
+	})
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	_, t := receiver(fd)
+	return t
+}

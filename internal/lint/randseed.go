@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that build an
+// explicitly seeded generator rather than drawing from the shared global
+// source; everything else at package level is forbidden.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *rand.Rand
+}
+
+// AnalyzerRandSeed forbids the global math/rand functions in non-test
+// code. The paper's filtering–refinement experiments are reproducible only
+// under explicit seeds: every draw must come from a *rand.Rand built with
+// rand.New(rand.NewSource(seed)) that the caller threads through.
+var AnalyzerRandSeed = &Analyzer{
+	Name: "randseed",
+	Doc:  "forbids global math/rand top-level functions; require a seeded *rand.Rand",
+	Run:  runRandSeed,
+}
+
+func runRandSeed(p *Pass) {
+	p.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || randConstructors[sel.Sel.Name] {
+			return true
+		}
+		pn := p.PkgNameOf(sel.X)
+		if pn == nil {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		// Only functions draw from the global source; rand.Rand, rand.Source
+		// and friends are type references.
+		if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		p.Reportf(sel.Pos(), "global %s.%s draws from the shared unseeded source; use an explicit rand.New(rand.NewSource(seed)) for reproducible experiments", pn.Imported().Name(), sel.Sel.Name)
+		return true
+	})
+}

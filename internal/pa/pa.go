@@ -134,12 +134,12 @@ func (s *Surface) Advance(now motion.Tick) {
 
 // cellRect returns the world rectangle of polynomial cell (gx, gy).
 func (s *Surface) cellRect(gx, gy int) geom.Rect {
-	return geom.Rect{
-		MinX: s.cfg.Area.MinX + float64(gx)*s.cellW,
-		MinY: s.cfg.Area.MinY + float64(gy)*s.cellH,
-		MaxX: s.cfg.Area.MinX + float64(gx+1)*s.cellW,
-		MaxY: s.cfg.Area.MinY + float64(gy+1)*s.cellH,
-	}
+	return geom.NewRect(
+		s.cfg.Area.MinX+float64(gx)*s.cellW,
+		s.cfg.Area.MinY+float64(gy)*s.cellH,
+		s.cfg.Area.MinX+float64(gx+1)*s.cellW,
+		s.cfg.Area.MinY+float64(gy+1)*s.cellH,
+	)
 }
 
 // cellOf returns the polynomial cell containing p, clamped to the grid.
@@ -198,7 +198,6 @@ func (s *Surface) applyFrom(st motion.State, from motion.Tick, delta float64) {
 	if hi > s.base+s.cfg.Horizon {
 		hi = s.base + s.cfg.Horizon
 	}
-	half := s.cfg.L / 2
 	for t := lo; t <= hi; t++ {
 		p := st.PositionAt(t)
 		// Objects predicted outside the monitored area do not exist at that
@@ -207,7 +206,7 @@ func (s *Surface) applyFrom(st motion.State, from motion.Tick, delta float64) {
 		if !s.cfg.Area.Contains(p) {
 			continue
 		}
-		box := geom.Rect{MinX: p.X - half, MinY: p.Y - half, MaxX: p.X + half, MaxY: p.Y + half}
+		box := geom.RectFromCenter(p, s.cfg.L)
 		s.addBox(t, box, delta)
 	}
 }

@@ -70,12 +70,12 @@ type seriesEval interface {
 
 // denorm maps a normalized box of cell back to world coordinates.
 func (s *Surface) denorm(cell geom.Rect, x1, y1, x2, y2 float64) geom.Rect {
-	return geom.Rect{
-		MinX: cell.MinX + (x1+1)/2*cell.Width(),
-		MinY: cell.MinY + (y1+1)/2*cell.Height(),
-		MaxX: cell.MinX + (x2+1)/2*cell.Width(),
-		MaxY: cell.MinY + (y2+1)/2*cell.Height(),
-	}
+	return geom.NewRect(
+		cell.MinX+(x1+1)/2*cell.Width(),
+		cell.MinY+(y1+1)/2*cell.Height(),
+		cell.MinX+(x2+1)/2*cell.Width(),
+		cell.MinY+(y2+1)/2*cell.Height(),
+	)
 }
 
 // DenseRegionIn answers the dense-region query restricted to a viewport —
@@ -131,12 +131,12 @@ func (s *Surface) DenseRegionGrid(qt motion.Tick, rho float64) (geom.Region, err
 			cx := s.cfg.Area.MinX + (float64(i)+0.5)*w
 			cy := s.cfg.Area.MinY + (float64(j)+0.5)*h
 			if s.Density(qt, geom.Point{X: cx, Y: cy}) >= rho {
-				out.Add(geom.Rect{
-					MinX: s.cfg.Area.MinX + float64(i)*w,
-					MinY: s.cfg.Area.MinY + float64(j)*h,
-					MaxX: s.cfg.Area.MinX + float64(i+1)*w,
-					MaxY: s.cfg.Area.MinY + float64(j+1)*h,
-				})
+				out.Add(geom.NewRect(
+					s.cfg.Area.MinX+float64(i)*w,
+					s.cfg.Area.MinY+float64(j)*h,
+					s.cfg.Area.MinX+float64(i+1)*w,
+					s.cfg.Area.MinY+float64(j+1)*h,
+				))
 			}
 		}
 	}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"pdr/internal/motion"
+	"pdr/internal/wire"
+)
+
+// TestRaceUpdatesQueryStats drives one Service with concurrent update
+// traffic, snapshot queries and stats polls. It exists for `go test -race`
+// (scripts/check.sh runs it there): the handlers share srv/mon behind
+// Service.mu, and this workload makes the detector see every pairing of the
+// write path against both read paths. The updates goroutine is the single
+// clock owner, so Now stays monotonic; queries and stats race freely
+// against it.
+func TestRaceUpdatesQueryStats(t *testing.T) {
+	_, ts := testService(t)
+	g := loadWorkload(t, ts, 800)
+
+	const (
+		queryWorkers = 4
+		statsWorkers = 2
+		iters        = 6
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, queryWorkers+statsWorkers+1)
+
+	// Writer: advance the clock and push location updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ups := g.Advance()
+			var ur UpdatesRequest
+			ur.Now = g.Now()
+			for _, u := range ups {
+				kind := wire.KindInsert
+				if u.Kind == motion.Delete {
+					kind = wire.KindDelete
+				}
+				ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+			}
+			body, _ := json.Marshal(ur)
+			resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("updates status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// Readers: snapshot queries with both cheap methods.
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			method := "pa"
+			if w%2 == 1 {
+				method = "dh"
+			}
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/query?method=%s&varrho=%d&l=60", ts.URL, method, 1+w%3))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("query decode: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: stats polls.
+	for w := 0; w < statsWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + "/v1/stats")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sr StatsResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("stats decode: %w", err)
+					return
+				}
+				if sr.Objects == 0 {
+					errs <- fmt.Errorf("stats reported zero objects mid-traffic")
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

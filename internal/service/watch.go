@@ -65,7 +65,7 @@ func (s *Service) handlePast(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rho, err := s.parseRho(qp)
+	rho, err := s.parseRhoLocked(qp)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

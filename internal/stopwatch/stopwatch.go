@@ -1,0 +1,21 @@
+// Package stopwatch is the approved wall-clock metering wrapper for the
+// simulation-time packages. pdrvet's wallclock analyzer forbids time.Now
+// in internal/core, internal/history and the index substrates, where every
+// timestamp must be a motion.Tick flowing through parameters; measuring
+// CPU cost is the one legitimate wall-clock use there, and funneling it
+// through this package keeps the two notions of time impossible to mix up
+// (a stopwatch yields a Duration, never a timestamp).
+package stopwatch
+
+import "time"
+
+// Stopwatch marks a start instant.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins timing.
+func Start() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall-clock time since Start.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

@@ -1,0 +1,18 @@
+package stopwatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestElapsedIsMonotonic(t *testing.T) {
+	sw := Start()
+	time.Sleep(time.Millisecond)
+	first := sw.Elapsed()
+	if first <= 0 {
+		t.Fatalf("Elapsed() = %v, want > 0", first)
+	}
+	if second := sw.Elapsed(); second < first {
+		t.Fatalf("Elapsed() went backwards: %v then %v", first, second)
+	}
+}

@@ -120,7 +120,7 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 			}
 		}
 		for _, seg := range sweepY(members, cell.MinY, cell.MaxY, threshold, half) {
-			out.Add(geom.Rect{MinX: x, MinY: seg.lo, MaxX: events[ei+1], MaxY: seg.hi})
+			out.Add(geom.NewRect(x, seg.lo, events[ei+1], seg.hi))
 		}
 	}
 	return geom.Coalesce(out)
@@ -187,6 +187,8 @@ func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) [
 		}
 		if count >= threshold {
 			next := events[ei+1]
+			// lint:ignore floateq run extension: hi was assigned this exact
+			// event coordinate, so bit equality is the contiguity test.
 			if len(segs) > 0 && segs[len(segs)-1].hi == y {
 				segs[len(segs)-1].hi = next // extend a contiguous dense run
 			} else {
@@ -200,6 +202,8 @@ func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) [
 func dedup(s []float64) []float64 {
 	out := s[:0]
 	for i, v := range s {
+		// lint:ignore floateq dedup of sorted coordinates removes only
+		// bit-identical neighbors; epsilon would merge distinct cell edges.
 		if i == 0 || v != s[i-1] {
 			out = append(out, v)
 		}

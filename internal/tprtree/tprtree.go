@@ -311,6 +311,8 @@ func (t *Tree) chooseSubtree(n *node, e entry) int {
 	for i, c := range n.entries {
 		area := c.integArea(t1, t2)
 		enl := combine(c, e, t.now).integArea(t1, t2) - area
+		// lint:ignore floateq exact tie-break between identically-computed
+		// enlargements; an epsilon would only blur the heuristic.
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: formatting, vet, build,
+# tests, race detection on the concurrent packages, a fuzz smoke pass over
+# the geometry invariants, and the project-specific pdrvet analyzers.
+#
+# Usage: scripts/check.sh        (from the module root)
+#
+# Every step must pass; the script stops at the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+	echo ""
+	echo "==> $*"
+}
+
+step "gofmt (no diffs allowed)"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "ok"
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race (service + monitor: the concurrent surfaces)"
+go test -race ./internal/service/... ./internal/monitor/...
+
+step "fuzz smoke: geometry area identity (5s)"
+go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime 5s ./internal/geom/
+
+step "fuzz smoke: sweep-vs-oracle refinement (5s)"
+go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime 5s ./internal/sweep/
+
+step "pdrvet (project-specific static analysis)"
+go run ./cmd/pdrvet ./...
+
+echo ""
+echo "all checks passed"
