@@ -5,19 +5,24 @@
 // Usage:
 //
 //	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
+//	         [-slow-query 250ms] [-debug-addr localhost:6060]
 //
 // Example session:
 //
 //	pdrgen -n 20000 -ticks 10 -o wl.jsonl
 //	pdrserve -data wl.jsonl &
 //	curl 'localhost:8080/v1/query?method=fr&varrho=3&l=30&at=now%2B10'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"pdr/internal/core"
 	"pdr/internal/service"
@@ -26,10 +31,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		data  = flag.String("data", "", "optional workload file from pdrgen to pre-load")
-		l     = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
-		histM = flag.Int("histm", 100, "density histogram resolution per axis")
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "optional workload file from pdrgen to pre-load")
+		l         = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
+		histM     = flag.Int("histm", 100, "density histogram resolution per axis")
+		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -37,7 +44,11 @@ func main() {
 	cfg.L = *l
 	cfg.HistM = *histM
 	cfg.KeepHistory = true // the /v1/past audit endpoint needs the archive
-	svc, err := service.New(cfg)
+	var opts []service.Option
+	if *slowQuery > 0 {
+		opts = append(opts, service.WithSlowQueryLog(*slowQuery, os.Stderr))
+	}
+	svc, err := service.New(cfg, opts...)
 	if err != nil {
 		log.Fatal("pdrserve: ", err)
 	}
@@ -52,6 +63,21 @@ func main() {
 			log.Fatal("pdrserve: ", err)
 		}
 		fmt.Fprintf(os.Stderr, "pdrserve: pre-loaded %d records\n", n)
+	}
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener so profiling endpoints are
+		// never reachable through the public API address.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			dbg := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			fmt.Fprintf(os.Stderr, "pdrserve: pprof on %s/debug/pprof/\n", *debugAddr)
+			log.Fatal("pdrserve: debug server: ", dbg.ListenAndServe())
+		}()
 	}
 	fmt.Fprintf(os.Stderr, "pdrserve: listening on %s\n", *addr)
 	log.Fatal(svc.ListenAndServe(*addr))

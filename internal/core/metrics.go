@@ -1,0 +1,86 @@
+package core
+
+import (
+	"pdr/internal/telemetry"
+)
+
+// metricMethods enumerates the instrumented query methods in display order.
+var metricMethods = []Method{FR, PA, DHOptimistic, DHPessimistic, BruteForce}
+
+// filter-mark label values for pdr_engine_filter_cells_total.
+var filterMarks = []string{"accepted", "rejected", "candidate"}
+
+// Metrics is the engine's instrument bundle: per-method query counts and
+// latency distributions, the filter step's cell classification (the paper's
+// Sec. 5 cost drivers), refinement fan-in, and interval-query fan-out. All
+// instruments are atomic, so a /metrics scrape never needs the engine lock.
+type Metrics struct {
+	queries   map[Method]*telemetry.Counter
+	latency   map[Method]*telemetry.Histogram
+	errors    *telemetry.Counter
+	filter    map[string]*telemetry.Counter
+	retrieved *telemetry.Counter
+	intervals *telemetry.Counter
+	fanout    *telemetry.Counter
+}
+
+// NewMetrics registers the engine instruments on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{
+		queries: make(map[Method]*telemetry.Counter, len(metricMethods)),
+		latency: make(map[Method]*telemetry.Histogram, len(metricMethods)),
+		filter:  make(map[string]*telemetry.Counter, len(filterMarks)),
+		errors: reg.Counter("pdr_engine_query_errors_total",
+			"Queries rejected by validation or failed during evaluation."),
+		retrieved: reg.Counter("pdr_engine_objects_retrieved_total",
+			"Index results fetched during refinement."),
+		intervals: reg.Counter("pdr_engine_interval_queries_total",
+			"Interval PDR queries answered."),
+		fanout: reg.Counter("pdr_engine_interval_snapshots_total",
+			"Snapshot evaluations fanned out by interval queries."),
+	}
+	for _, mm := range metricMethods {
+		m.queries[mm] = reg.Counter("pdr_engine_queries_total",
+			"Snapshot PDR queries answered, by method.",
+			telemetry.L("method", mm.String()))
+		m.latency[mm] = reg.Histogram("pdr_engine_query_seconds",
+			"Total per-query cost (measured CPU plus charged I/O), by method.",
+			nil, telemetry.L("method", mm.String()))
+	}
+	for _, mark := range filterMarks {
+		m.filter[mark] = reg.Counter("pdr_engine_filter_cells_total",
+			"Histogram cells classified by the filter step, by mark.",
+			telemetry.L("mark", mark))
+	}
+	return m
+}
+
+// observe records one completed snapshot result.
+func (m *Metrics) observe(res *Result) {
+	m.queries[res.Method].Inc()
+	m.latency[res.Method].Observe(res.Total().Seconds())
+	m.filter["accepted"].Add(int64(res.Accepted))
+	m.filter["rejected"].Add(int64(res.Rejected))
+	m.filter["candidate"].Add(int64(res.Candidates))
+	m.retrieved.Add(int64(res.ObjectsRetrieved))
+}
+
+// observeInterval records an interval query's snapshot fan-out.
+func (m *Metrics) observeInterval(snapshots int64) {
+	m.intervals.Inc()
+	m.fanout.Add(snapshots)
+}
+
+// QueriesServed returns the per-method query counts — the shared source of
+// truth behind both /metrics and /v1/stats.
+func (m *Metrics) QueriesServed() map[string]int64 {
+	out := make(map[string]int64, len(m.queries))
+	for mm, c := range m.queries {
+		out[mm.String()] = c.Value()
+	}
+	return out
+}
+
+// SetMetrics attaches an instrument bundle to the server; a nil bundle
+// disables engine metrics (the default for offline/experiment servers).
+func (s *Server) SetMetrics(m *Metrics) { s.met = m }

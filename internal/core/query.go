@@ -9,6 +9,7 @@ import (
 	"pdr/internal/motion"
 	"pdr/internal/stopwatch"
 	"pdr/internal/sweep"
+	"pdr/internal/telemetry"
 )
 
 // Method selects the query evaluation strategy.
@@ -71,6 +72,9 @@ type Result struct {
 	Accepted, Rejected, Candidates int
 	// ObjectsRetrieved counts index results fetched during refinement.
 	ObjectsRetrieved int
+	// Phases is the trace breakdown of the evaluation (filter, refine,
+	// pa-eval, union); interval queries merge per-snapshot spans by name.
+	Phases []telemetry.PhaseSpan
 }
 
 // Total returns CPU + IOTime.
@@ -92,30 +96,42 @@ func (s *Server) validate(q Query) error {
 // Snapshot answers the snapshot PDR query q with the given method.
 func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	if err := s.validate(q); err != nil {
+		if s.met != nil {
+			s.met.errors.Inc()
+		}
 		return nil, err
 	}
 	res := &Result{Method: m}
+	tr := telemetry.NewTrace()
 	ioBefore := s.pool.Stats()
 	sw := stopwatch.Start()
 	var err error
 	switch m {
 	case FR:
-		err = s.snapshotFR(q, res)
+		err = s.snapshotFR(q, res, tr)
 	case PA:
-		err = s.snapshotPA(q, res)
+		err = s.snapshotPA(q, res, tr)
 	case DHOptimistic, DHPessimistic:
-		err = s.snapshotDH(q, m, res)
+		err = s.snapshotDH(q, m, res, tr)
 	case BruteForce:
-		s.snapshotBF(q, res)
+		s.snapshotBF(q, res, tr)
 	default:
 		err = fmt.Errorf("core: unknown method %d", m)
 	}
 	if err != nil {
+		if s.met != nil {
+			s.met.errors.Inc()
+		}
 		return nil, err
 	}
+	tr.End()
 	res.CPU = sw.Elapsed()
 	res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
 	res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
+	res.Phases = tr.Spans()
+	if s.met != nil {
+		s.met.observe(res)
+	}
 	return res, nil
 }
 
@@ -125,7 +141,8 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 // coalesced into maximal windows first, saving duplicate index retrievals
 // where candidates cluster (the grown squares of neighboring cells overlap
 // heavily). Both modes return identical regions.
-func (s *Server) snapshotFR(q Query, res *Result) error {
+func (s *Server) snapshotFR(q Query, res *Result, tr *telemetry.Trace) error {
+	tr.Phase("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
 		return err
@@ -140,6 +157,7 @@ func (s *Server) snapshotFR(q Query, res *Result) error {
 	if s.cfg.MergeCandidates {
 		windows = geom.Coalesce(windows)
 	}
+	tr.Phase("refine")
 	for _, cell := range windows {
 		grown := cell.Grow(q.L / 2)
 		var points []geom.Point
@@ -153,17 +171,19 @@ func (s *Server) snapshotFR(q Query, res *Result) error {
 		res.ObjectsRetrieved += len(points)
 		region = append(region, sweep.DenseRects(points, cell, q.Rho, q.L)...)
 	}
+	tr.Phase("union")
 	res.Region = geom.Coalesce(region)
 	return nil
 }
 
-func (s *Server) snapshotPA(q Query, res *Result) error {
+func (s *Server) snapshotPA(q Query, res *Result, tr *telemetry.Trace) error {
 	// lint:ignore floateq config identity: the surfaces answer only the
 	// exact l they were built for; a nearly-equal l must be rejected too.
 	if q.L != s.surf.L() {
 		return fmt.Errorf("core: PA surfaces are built for l=%g, query asked l=%g (the approximation method fixes l in advance; use FR for other edges)",
 			s.surf.L(), q.L)
 	}
+	tr.Phase("pa-eval")
 	region, err := s.surf.DenseRegion(q.At, q.Rho)
 	if err != nil {
 		return err
@@ -172,12 +192,14 @@ func (s *Server) snapshotPA(q Query, res *Result) error {
 	return nil
 }
 
-func (s *Server) snapshotDH(q Query, m Method, res *Result) error {
+func (s *Server) snapshotDH(q Query, m Method, res *Result, tr *telemetry.Trace) error {
+	tr.Phase("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
 		return err
 	}
 	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
+	tr.Phase("union")
 	if m == DHOptimistic {
 		res.Region = fr.OptimisticRegion()
 	} else {
@@ -186,7 +208,8 @@ func (s *Server) snapshotDH(q Query, m Method, res *Result) error {
 	return nil
 }
 
-func (s *Server) snapshotBF(q Query, res *Result) {
+func (s *Server) snapshotBF(q Query, res *Result, tr *telemetry.Trace) {
+	tr.Phase("refine")
 	points := make([]geom.Point, 0, len(s.live))
 	for _, st := range s.live {
 		p := st.PositionAt(q.At)
@@ -195,6 +218,7 @@ func (s *Server) snapshotBF(q Query, res *Result) {
 		}
 	}
 	res.ObjectsRetrieved = len(points)
+	tr.Phase("union")
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
 }
 
@@ -213,7 +237,9 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: bad query parameters rho=%g l=%g", q.Rho, q.L)
 	}
 	res := &Result{Method: BruteForce}
+	tr := telemetry.NewTrace()
 	sw := stopwatch.Start()
+	tr.Phase("refine")
 	points := s.hst.PointsAt(q.At)
 	for _, st := range s.live {
 		if st.Ref > q.At {
@@ -225,8 +251,11 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 		}
 	}
 	res.ObjectsRetrieved = len(points)
+	tr.Phase("union")
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	tr.End()
 	res.CPU = sw.Elapsed()
+	res.Phases = tr.Spans()
 	return res, nil
 }
 
@@ -254,8 +283,12 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 		out.Rejected += r.Rejected
 		out.Candidates += r.Candidates
 		out.ObjectsRetrieved += r.ObjectsRetrieved
+		out.Phases = telemetry.MergeSpans(out.Phases, r.Phases)
 	}
 	out.Region = region
+	if s.met != nil {
+		s.met.observeInterval(int64(until-q.At) + 1)
+	}
 	return out, nil
 }
 

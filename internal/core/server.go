@@ -126,6 +126,7 @@ type Server struct {
 	index Index
 	live  map[motion.ObjectID]motion.State
 	hst   *history.Store // nil unless cfg.KeepHistory
+	met   *Metrics       // nil unless SetMetrics was called
 }
 
 // NewServer builds an empty server.

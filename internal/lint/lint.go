@@ -3,7 +3,7 @@
 // PDR engine's un-compilable invariants — half-open rectangle semantics,
 // the single-writer mutex discipline, simulation-time purity, seeded
 // randomness, epsilon-safe float comparison, checked encode/write errors,
-// and uniform index-corruption panics.
+// uniform index-corruption panics, and namespaced telemetry metric names.
 //
 // Diagnostics carry file:line:col positions. A finding can be suppressed by
 // a directive comment on the same line or the line above:
@@ -99,6 +99,7 @@ func All() []*Analyzer {
 		AnalyzerRandSeed,
 		AnalyzerErrCheckLite,
 		AnalyzerPanicPrefix,
+		AnalyzerMetricName,
 	}
 }
 

@@ -346,6 +346,65 @@ func f(msg string) { panic("tprtree: " + msg) }
 	}
 }
 
+func TestMetricName(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"flags missing pdr prefix", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) { reg.Counter("http_requests_total", "help") }
+`, 1},
+		{"flags camel case", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) { reg.Gauge("pdr_poolPages", "help") }
+`, 1},
+		{"flags bare prefix", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) { reg.Counter("pdr", "help") }
+`, 1},
+		{"flags trailing underscore", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) { reg.Histogram("pdr_query_seconds_", "help", nil) }
+`, 1},
+		{"well-formed name allowed", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) {
+	reg.Counter("pdr_engine_queries_total", "help")
+	reg.Histogram("pdr_http_request_seconds", "help", nil)
+	reg.GaugeFunc("pdr_pool_hit_ratio", "help", func() float64 { return 0 })
+}
+`, 0},
+		{"constant expression resolved", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+const prefix = "pdr_engine"
+func f(reg *telemetry.Registry) { reg.Counter(prefix+"_Bad", "help") }
+`, 1},
+		{"dynamic name left to runtime check", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry, name string) { reg.Counter(name, "help") }
+`, 0},
+		{"unrelated Counter method ignored", "pdr/internal/x", `package x
+type Registry struct{}
+func (*Registry) Counter(name, help string) {}
+func f(reg *Registry) { reg.Counter("whatever", "help") }
+`, 0},
+		{"ignore suppresses", "pdr/internal/x", `package x
+import "pdr/internal/telemetry"
+func f(reg *telemetry.Registry) {
+	reg.Counter("bad_name", "help") // lint:ignore metricname test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, tc.path, tc.src, AnalyzerMetricName), "metricname", tc.want)
+		})
+	}
+}
+
 func TestMalformedIgnoreDirective(t *testing.T) {
 	diags := analyze(t, "pdr/internal/x", `package x
 func f(a, b float64) bool {

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// metricRegistrars are the Registry methods whose first argument is a metric
+// name destined for the /metrics exposition.
+var metricRegistrars = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// metricNameRE mirrors the runtime check in internal/telemetry: snake_case
+// words under the project-wide "pdr" prefix. Enforcing it statically turns a
+// first-scrape panic into a pdrvet finding.
+var metricNameRE = regexp.MustCompile(`^pdr(_[a-z0-9]+)+$`)
+
+// AnalyzerMetricName requires metric names passed to telemetry.Registry
+// registration methods to be snake_case with the "pdr_" prefix. One shared
+// prefix keeps every dashboard query anchored to the project namespace, and
+// catching violations at vet time beats the registry's runtime panic.
+var AnalyzerMetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "requires telemetry metric names to match ^pdr(_[a-z0-9]+)+$",
+	Run:  runMetricName,
+}
+
+func runMetricName(p *Pass) {
+	p.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricRegistrars[sel.Sel.Name] {
+			return true
+		}
+		recv := p.TypeOf(sel.X)
+		if recv == nil || !isTelemetryRegistry(recv) {
+			return true
+		}
+		tv, ok := p.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			// A non-constant name cannot be vetted here; the registry's own
+			// validation still guards it at runtime.
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRE.MatchString(name) {
+			p.Reportf(call.Args[0].Pos(), "metric name %q must be snake_case with the pdr_ prefix (want ^pdr(_[a-z0-9]+)+$)", name)
+		}
+		return true
+	})
+}
+
+// isTelemetryRegistry reports whether t is telemetry.Registry or a pointer
+// to it.
+func isTelemetryRegistry(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "pdr/internal/telemetry"
+}

@@ -12,6 +12,8 @@ import (
 	"pdr/internal/core"
 	"pdr/internal/geom"
 	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+	"pdr/internal/telemetry"
 )
 
 // ContinuousQuery is a standing PDR query: every Every ticks the monitor
@@ -58,11 +60,39 @@ type Monitor struct {
 	srv    *core.Server
 	nextID int
 	subs   map[int]*sub
+	met    *Metrics // nil unless SetMetrics was called
 }
 
 // New creates a monitor over srv.
 func New(srv *core.Server) *Monitor {
 	return &Monitor{srv: srv, subs: make(map[int]*sub)}
+}
+
+// Metrics is the monitor's instrument bundle: live subscription count,
+// events emitted, and standing-query evaluation latency.
+type Metrics struct {
+	subs   *telemetry.Gauge
+	events *telemetry.Counter
+	eval   *telemetry.Histogram
+}
+
+// NewMetrics registers the monitor instruments on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		subs:   reg.Gauge("pdr_monitor_subscriptions", "Active standing PDR queries."),
+		events: reg.Counter("pdr_monitor_events_total", "Change events emitted to subscribers."),
+		eval: reg.Histogram("pdr_monitor_eval_seconds",
+			"Per-subscription standing-query evaluation latency.", nil),
+	}
+}
+
+// SetMetrics attaches an instrument bundle; the subscription gauge is
+// seeded with the current count so late attachment stays accurate.
+func (m *Monitor) SetMetrics(met *Metrics) {
+	m.met = met
+	if met != nil {
+		met.subs.Set(float64(len(m.subs)))
+	}
 }
 
 // Register adds a standing query and returns its subscription id.
@@ -78,6 +108,9 @@ func (m *Monitor) Register(q ContinuousQuery) (int, error) {
 	}
 	m.nextID++
 	m.subs[m.nextID] = &sub{id: m.nextID, q: q}
+	if m.met != nil {
+		m.met.subs.Set(float64(len(m.subs)))
+	}
 	return m.nextID, nil
 }
 
@@ -87,6 +120,9 @@ func (m *Monitor) Unregister(id int) bool {
 		return false
 	}
 	delete(m.subs, id)
+	if m.met != nil {
+		m.met.subs.Set(float64(len(m.subs)))
+	}
 	return true
 }
 
@@ -113,12 +149,16 @@ func (m *Monitor) Advance(now motion.Tick, updates []motion.Update) ([]Event, er
 			return events, err
 		}
 		events = append(events, ev)
+		if m.met != nil {
+			m.met.events.Inc()
+		}
 	}
 	return events, nil
 }
 
 func (m *Monitor) evaluate(s *sub, now motion.Tick) (Event, error) {
 	target := now + s.q.Ahead
+	sw := stopwatch.Start()
 	res, err := m.srv.Snapshot(core.Query{Rho: s.q.Rho, L: s.q.L, At: target}, s.q.Method)
 	if err != nil {
 		return Event{}, err
@@ -137,5 +177,9 @@ func (m *Monitor) evaluate(s *sub, now motion.Tick) (Event, error) {
 	s.prev = res.Region
 	s.lastRun = now
 	s.ran = true
+	// The evaluation cost a subscriber pays is the snapshot plus the diff.
+	if m.met != nil {
+		m.met.eval.Observe(sw.Elapsed().Seconds())
+	}
 	return ev, nil
 }

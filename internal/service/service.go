@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +30,8 @@ import (
 	"pdr/internal/core"
 	"pdr/internal/monitor"
 	"pdr/internal/motion"
+	"pdr/internal/storage"
+	"pdr/internal/telemetry"
 	"pdr/internal/wire"
 )
 
@@ -41,29 +44,72 @@ type Service struct {
 	// mon re-evaluates standing queries; guarded by mu.
 	mon *monitor.Monitor
 	mux *http.ServeMux
+	// reg and met are atomic-based telemetry; safe without mu.
+	reg  *telemetry.Registry
+	met  *core.Metrics
+	slow *slowQueryLog // nil unless WithSlowQueryLog was given
+}
+
+// Option customizes a Service at construction.
+type Option func(*Service)
+
+// WithRegistry exposes the service's metrics on an existing registry
+// (e.g. one shared with other subsystems of the process).
+func WithRegistry(reg *telemetry.Registry) Option {
+	return func(s *Service) { s.reg = reg }
+}
+
+// WithSlowQueryLog enables the slow-query log: every request slower than
+// threshold is written to w as one structured JSON line (see
+// docs/OBSERVABILITY.md for the schema).
+func WithSlowQueryLog(threshold time.Duration, w io.Writer) Option {
+	return func(s *Service) {
+		s.slow = &slowQueryLog{threshold: threshold, w: w}
+	}
 }
 
 // New creates a service over a fresh engine.
-func New(cfg core.Config) (*Service, error) {
+func New(cfg core.Config, opts ...Option) (*Service, error) {
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Service{srv: srv, mon: monitor.New(srv), mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.met = core.NewMetrics(s.reg)
+	srv.SetMetrics(s.met)
+	srv.Pool().SetMetrics(storage.NewPoolMetrics(s.reg))
+	s.mon.SetMetrics(monitor.NewMetrics(s.reg))
+	if s.slow != nil {
+		s.slow.count = s.reg.Counter("pdr_http_slow_queries_total",
+			"Requests that exceeded the slow-query threshold.")
+	}
 	s.registerWatchRoutes()
-	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
-	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/contours", s.handleContours)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.handle("POST /v1/load", s.handleLoad)
+	s.handle("POST /v1/updates", s.handleUpdates)
+	s.handle("GET /v1/query", s.handleQuery)
+	s.handle("GET /v1/contours", s.handleContours)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		// lint:ignore errchecklite liveness probe: a failed write to a
 		// hung-up prober has no one left to report to.
 		fmt.Fprintln(w, "ok")
 	})
+	// The scrape path is registered raw: instrumenting it would make every
+	// scrape mutate the very series it is reading.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
+
+// Registry exposes the service's telemetry registry (for embedding the
+// exposition elsewhere, e.g. a debug listener).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -234,13 +280,14 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.srv.Now()
+	horizon := s.srv.Horizon()
 
 	rho, err := s.parseRhoLocked(qp)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	at, err := parseTick(qp.Get("at"), now)
+	at, err := parseTick(qp.Get("at"), now, horizon)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -250,7 +297,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var res *core.Result
 	var until *motion.Tick
 	if u := qp.Get("until"); u != "" {
-		end, err := parseTick(u, now)
+		end, err := parseTick(u, now, horizon)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -268,6 +315,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	annotateQuery(r, q, until, res.Method.String(), res)
 
 	out := QueryResponse{
 		Method: res.Method.String(), At: q.At, Until: until,
@@ -316,7 +364,7 @@ func (s *Service) handleContours(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	at, err := parseTick(qp.Get("at"), s.srv.Now())
+	at, err := parseTick(qp.Get("at"), s.srv.Now(), s.srv.Horizon())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -333,17 +381,22 @@ func (s *Service) handleContours(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. The telemetry-backed fields
+// (QueriesServed, Subscriptions, PoolHitRatio) read the same instruments
+// /metrics exposes, so the two surfaces always agree.
 type StatsResponse struct {
-	Now            motion.Tick `json:"now"`
-	Objects        int         `json:"objects"`
-	HistogramBytes int         `json:"histogramBytes"`
-	SurfaceBytes   int         `json:"surfaceBytes"`
-	IndexPages     int         `json:"indexPages"`
-	PoolReads      int64       `json:"poolReads"`
-	PoolWrites     int64       `json:"poolWrites"`
-	PoolHits       int64       `json:"poolHits"`
-	UptimeHorizon  motion.Tick `json:"horizon"`
+	Now            motion.Tick      `json:"now"`
+	Objects        int              `json:"objects"`
+	HistogramBytes int              `json:"histogramBytes"`
+	SurfaceBytes   int              `json:"surfaceBytes"`
+	IndexPages     int              `json:"indexPages"`
+	PoolReads      int64            `json:"poolReads"`
+	PoolWrites     int64            `json:"poolWrites"`
+	PoolHits       int64            `json:"poolHits"`
+	PoolHitRatio   float64          `json:"poolHitRatio"`
+	Subscriptions  int              `json:"subscriptions"`
+	QueriesServed  map[string]int64 `json:"queriesServed"`
+	UptimeHorizon  motion.Tick      `json:"horizon"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -359,6 +412,9 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PoolReads:      st.Reads,
 		PoolWrites:     st.Writes,
 		PoolHits:       st.Hits,
+		PoolHitRatio:   st.HitRatio(),
+		Subscriptions:  s.mon.NumSubscriptions(),
+		QueriesServed:  s.met.QueriesServed(),
 		UptimeHorizon:  s.srv.Horizon(),
 	})
 }
@@ -385,23 +441,64 @@ func (s *Service) parseRhoLocked(qp interface{ Get(string) string }) (float64, e
 	return 0, fmt.Errorf("one of rho or varrho is required")
 }
 
-func parseTick(v string, now motion.Tick) (motion.Tick, error) {
+// parseTick parses a query timestamp ("now", "now+K", or an absolute tick)
+// and validates it against the engine's live window [now, now+horizon], so
+// clients get a clear 400 naming the window instead of an opaque engine
+// failure. Past forms are redirected to /v1/past.
+func parseTick(v string, now, horizon motion.Tick) (motion.Tick, error) {
 	switch {
 	case v == "" || v == "now":
 		return now, nil
 	case strings.HasPrefix(v, "now+"):
 		k, err := strconv.Atoi(v[len("now+"):])
-		if err != nil {
+		if err != nil || k < 0 {
 			return 0, fmt.Errorf("bad timestamp %q", v)
 		}
+		if motion.Tick(k) > horizon {
+			return 0, fmt.Errorf("timestamp %q is beyond the maintained horizon: the engine answers [now, now+%d]", v, horizon)
+		}
 		return now + motion.Tick(k), nil
+	case strings.HasPrefix(v, "now-"):
+		return 0, fmt.Errorf("timestamp %q is in the past; use /v1/past for historical queries", v)
 	default:
 		k, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return 0, fmt.Errorf("bad timestamp %q", v)
 		}
-		return motion.Tick(k), nil
+		t := motion.Tick(k)
+		if t < now {
+			return 0, fmt.Errorf("timestamp %d precedes now=%d; use /v1/past for historical queries", t, now)
+		}
+		if t > now+horizon {
+			return 0, fmt.Errorf("timestamp %d is beyond the maintained horizon: the engine answers [%d, %d]", t, now, now+horizon)
+		}
+		return t, nil
 	}
+}
+
+// parsePastTick parses the timestamp of a /v1/past query: "now-K" or an
+// absolute tick strictly before now (PastSnapshot covers only the past; the
+// live window belongs to /v1/query).
+func parsePastTick(v string, now motion.Tick) (motion.Tick, error) {
+	var t motion.Tick
+	switch {
+	case strings.HasPrefix(v, "now-"):
+		k, err := strconv.Atoi(v[len("now-"):])
+		if err != nil || k < 0 {
+			return 0, fmt.Errorf("bad timestamp %q", v)
+		}
+		t = now - motion.Tick(k)
+	default:
+		k, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad timestamp %q (want an absolute tick or now-K)", v)
+		}
+		t = motion.Tick(k)
+	}
+	if t >= now {
+		return 0, fmt.Errorf("timestamp %d is not in the past (now=%d); use /v1/query for the live window", t, now)
+	}
+	return t, nil
 }
 
 func parseMethod(v string) (core.Method, error) {
@@ -421,12 +518,19 @@ func parseMethod(v string) (core.Method, error) {
 	}
 }
 
-// ListenAndServe runs the service on addr until the listener fails.
+// ListenAndServe runs the service on addr until the listener fails. The
+// full timeout set is configured so a slow or stalled client can never pin
+// a handler goroutine (and with it s.mu) indefinitely: WriteTimeout bounds
+// the whole response, sized for exact FR interval queries which legitimately
+// run tens of seconds at paper scale.
 func (s *Service) ListenAndServe(addr string) error {
 	server := &http.Server{
 		Addr:              addr,
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	return server.ListenAndServe()
 }

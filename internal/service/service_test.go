@@ -161,8 +161,10 @@ func TestQueryValidationErrors(t *testing.T) {
 		{"/v1/query?method=fr&l=60", http.StatusBadRequest},         // no rho
 		{"/v1/query?method=fr&l=60&rho=xyz", http.StatusBadRequest}, // bad rho
 		{"/v1/query?method=fr&l=60&varrho=1&at=later", http.StatusBadRequest},
-		{"/v1/query?method=fr&l=60&varrho=1&at=9999", http.StatusUnprocessableEntity}, // out of window
-		{"/v1/query?method=pa&l=45&varrho=1", http.StatusUnprocessableEntity},         // PA wrong l
+		{"/v1/query?method=fr&l=60&varrho=1&at=9999", http.StatusBadRequest},  // beyond horizon
+		{"/v1/query?method=fr&l=60&varrho=1&at=now-3", http.StatusBadRequest}, // past: /v1/past territory
+		{"/v1/query?method=fr&l=60&varrho=1&until=now%2B9999", http.StatusBadRequest},
+		{"/v1/query?method=pa&l=45&varrho=1", http.StatusUnprocessableEntity}, // PA wrong l
 	}
 	for _, c := range cases {
 		resp, err := http.Get(ts.URL + c.url)
@@ -482,15 +484,32 @@ func TestPastEndpoint(t *testing.T) {
 	if qr.Method != "past-exact" || qr.At != 2 {
 		t.Errorf("past response: %+v", qr)
 	}
-	// Validation: future tick rejected; non-history server rejected.
+	// Validation: a future tick is a clear 400 (not an engine 422); a
+	// genuinely past tick on a non-history server still 422s.
 	r2, _ := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=9999")
 	r2.Body.Close()
-	if r2.StatusCode != http.StatusUnprocessableEntity {
+	if r2.StatusCode != http.StatusBadRequest {
 		t.Errorf("future past query status %d", r2.StatusCode)
+	}
+	// The now-K form resolves against the advanced clock.
+	r2b, err := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=now-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2b.Body.Close()
+	if r2b.StatusCode != http.StatusOK {
+		t.Errorf("now-3 past query status %d", r2b.StatusCode)
+	}
+	var qr2 QueryResponse
+	if err := json.NewDecoder(r2b.Body).Decode(&qr2); err != nil {
+		t.Fatal(err)
+	}
+	if qr2.At != g.Now()-3 {
+		t.Errorf("now-3 resolved to %d, want %d", qr2.At, g.Now()-3)
 	}
 	_, ts2 := testService(t) // history disabled
 	loadWorkload(t, ts2, 50)
-	r3, _ := http.Get(ts2.URL + "/v1/past?varrho=2&l=60&at=0")
+	r3, _ := http.Get(ts2.URL + "/v1/past?varrho=2&l=60&at=-1")
 	r3.Body.Close()
 	if r3.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("history-disabled past query status %d", r3.StatusCode)

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pdr/internal/core"
+	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+	"pdr/internal/telemetry"
+)
+
+// handle registers pattern on the mux wrapped in the telemetry middleware:
+// per-route latency histograms, per-route/status request counters, and the
+// slow-query log. The route label is the path part of the pattern, so
+// cardinality stays bounded by the API surface, never by client input.
+func (s *Service) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	latency := s.reg.Histogram("pdr_http_request_seconds",
+		"HTTP request latency by route.", nil, telemetry.L("route", route))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		detail := &queryDetail{}
+		r = r.WithContext(context.WithValue(r.Context(), detailKey{}, detail))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		sw := stopwatch.Start()
+		h(rec, r)
+		elapsed := sw.Elapsed()
+		latency.Observe(elapsed.Seconds())
+		s.reg.Counter("pdr_http_requests_total",
+			"HTTP requests by route and status.",
+			telemetry.L("route", route),
+			telemetry.L("status", strconv.Itoa(rec.status))).Inc()
+		if s.slow != nil {
+			s.slow.maybeLog(route, r, rec.status, elapsed, detail)
+		}
+	})
+}
+
+// statusRecorder captures the response status for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// detailKey carries the per-request queryDetail through the context.
+type detailKey struct{}
+
+// queryDetail is filled in by query handlers so the slow-query log can
+// report engine-level context (method, parameters, phase breakdown) beyond
+// what the middleware sees.
+type queryDetail struct {
+	set    bool
+	method string
+	rho, l float64
+	at     motion.Tick
+	until  *motion.Tick
+	ios    int64
+	cpu    time.Duration
+	phases []telemetry.PhaseSpan
+}
+
+// annotateQuery records engine result detail on the request's carrier (a
+// no-op for requests that did not pass through the middleware, e.g. direct
+// handler tests).
+func annotateQuery(r *http.Request, q core.Query, until *motion.Tick, method string, res *core.Result) {
+	d, ok := r.Context().Value(detailKey{}).(*queryDetail)
+	if !ok {
+		return
+	}
+	d.set = true
+	d.method = method
+	d.rho, d.l, d.at = q.Rho, q.L, q.At
+	d.until = until
+	d.ios = res.IOs
+	d.cpu = res.CPU
+	d.phases = res.Phases
+}
+
+// slowQueryLog writes one structured JSON line per request slower than the
+// threshold. Handlers run concurrently, so the writer is mutex-guarded.
+type slowQueryLog struct {
+	threshold time.Duration
+	count     *telemetry.Counter
+	mu        sync.Mutex
+	w         io.Writer // guarded by mu
+}
+
+// slowQueryLine is the JSON schema of one slow-query log record.
+type slowQueryLine struct {
+	Time           string           `json:"time"`
+	Route          string           `json:"route"`
+	HTTPMethod     string           `json:"httpMethod"`
+	URL            string           `json:"url"`
+	Status         int              `json:"status"`
+	DurationMicros int64            `json:"durationMicros"`
+	Query          *slowQueryDetail `json:"query,omitempty"`
+}
+
+type slowQueryDetail struct {
+	Method    string          `json:"method"`
+	Rho       float64         `json:"rho"`
+	L         float64         `json:"l"`
+	At        motion.Tick     `json:"at"`
+	Until     *motion.Tick    `json:"until,omitempty"`
+	IOs       int64           `json:"ios"`
+	CPUMicros int64           `json:"cpuMicros"`
+	Phases    []phaseSpanJSON `json:"phases,omitempty"`
+}
+
+type phaseSpanJSON struct {
+	Phase  string `json:"phase"`
+	Micros int64  `json:"micros"`
+}
+
+func (l *slowQueryLog) maybeLog(route string, r *http.Request, status int, elapsed time.Duration, d *queryDetail) {
+	if elapsed < l.threshold {
+		return
+	}
+	l.count.Inc()
+	line := slowQueryLine{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Route:          route,
+		HTTPMethod:     r.Method,
+		URL:            r.URL.String(),
+		Status:         status,
+		DurationMicros: elapsed.Microseconds(),
+	}
+	if d != nil && d.set {
+		q := &slowQueryDetail{
+			Method: d.method, Rho: d.rho, L: d.l, At: d.at, Until: d.until,
+			IOs: d.ios, CPUMicros: d.cpu.Microseconds(),
+		}
+		for _, p := range d.phases {
+			q.Phases = append(q.Phases, phaseSpanJSON{Phase: p.Name, Micros: p.Duration.Microseconds()})
+		}
+		line.Query = q
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// lint:ignore errchecklite diagnostics sink: a failed slow-log write
+	// must never fail the request it describes.
+	l.w.Write(buf)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format. It reads
+// only atomic instruments, so it never takes the engine lock — a slow
+// scraper cannot stall query traffic.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WriteText(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "metrics exposition: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.TextContentType)
+	// lint:ignore errchecklite the exposition is fully buffered; a failed
+	// write means the scraper hung up and there is nobody left to tell.
+	w.Write(buf.Bytes())
+}

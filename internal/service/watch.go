@@ -42,15 +42,15 @@ type EventJSON struct {
 // registerWatchRoutes wires the continuous-query and audit endpoints;
 // called from New.
 func (s *Service) registerWatchRoutes() {
-	s.mux.HandleFunc("POST /v1/watch", s.handleWatch)
-	s.mux.HandleFunc("DELETE /v1/watch/{id}", s.handleUnwatch)
-	s.mux.HandleFunc("GET /v1/past", s.handlePast)
+	s.handle("POST /v1/watch", s.handleWatch)
+	s.handle("DELETE /v1/watch/{id}", s.handleUnwatch)
+	s.handle("GET /v1/past", s.handlePast)
 }
 
 // handlePast answers GET /v1/past: an exact PDR query at a PAST timestamp
 // reconstructed from the movement archive (requires the server to be
 // configured with history; pdrserve enables it). Parameters: rho or varrho,
-// l, at (absolute tick).
+// l, at ("now-K" or an absolute tick before now).
 func (s *Service) handlePast(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
 	l, err := strconv.ParseFloat(qp.Get("l"), 64)
@@ -58,25 +58,27 @@ func (s *Service) handlePast(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad l %q", qp.Get("l"))
 		return
 	}
-	at, err := strconv.ParseInt(qp.Get("at"), 10, 64)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad at %q (absolute tick required)", qp.Get("at"))
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	at, err := parsePastTick(qp.Get("at"), s.srv.Now())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	rho, err := s.parseRhoLocked(qp)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.srv.PastSnapshot(core.Query{Rho: rho, L: l, At: motion.Tick(at)})
+	q := core.Query{Rho: rho, L: l, At: at}
+	res, err := s.srv.PastSnapshot(q)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	annotateQuery(r, q, nil, "past-exact", res)
 	out := QueryResponse{
-		Method: "past-exact", At: motion.Tick(at), Rho: rho, L: l,
+		Method: "past-exact", At: at, Rho: rho, L: l,
 		Rects: make([]RectJSON, len(res.Region)),
 		Area:  res.Region.Area(), CPUMicros: res.CPU.Microseconds(),
 	}

@@ -13,6 +13,8 @@ import (
 	"container/list"
 	"fmt"
 	"time"
+
+	"pdr/internal/telemetry"
 )
 
 // PageID identifies a page in the store. The zero PageID is never allocated
@@ -50,6 +52,43 @@ func (s Stats) Sub(t Stats) Stats {
 	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
 }
 
+// HitRatio returns the fraction of logical reads served from the buffer
+// (hits / (hits + physical reads)), or 0 before any read. Both /v1/stats
+// and the pdr_pool_hit_ratio gauge derive their value from the same
+// increment sites, so the two surfaces always agree.
+func (s Stats) HitRatio() float64 {
+	logical := s.Hits + s.Reads
+	if logical == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(logical)
+}
+
+// PoolMetrics mirrors the pool's I/O accounting into a telemetry registry:
+// the raw counters become atomic instruments a concurrent /metrics scrape
+// can read without the engine lock, and the hit ratio is derived from them
+// at scrape time.
+type PoolMetrics struct {
+	reads, writes, hits *telemetry.Counter
+	pages               *telemetry.Gauge
+}
+
+// NewPoolMetrics registers the buffer-pool instruments on reg.
+func NewPoolMetrics(reg *telemetry.Registry) *PoolMetrics {
+	m := &PoolMetrics{
+		reads:  reg.Counter("pdr_pool_reads_total", "Physical page reads (buffer misses)."),
+		writes: reg.Counter("pdr_pool_writes_total", "Physical page writes (dirty evictions and flushes)."),
+		hits:   reg.Counter("pdr_pool_hits_total", "Logical reads served from the buffer."),
+		pages:  reg.Gauge("pdr_pool_pages", "Pages currently allocated in the store."),
+	}
+	reg.GaugeFunc("pdr_pool_hit_ratio",
+		"Fraction of logical reads served from the buffer.",
+		func() float64 {
+			return Stats{Reads: m.reads.Value(), Hits: m.hits.Value()}.HitRatio()
+		})
+	return m
+}
+
 // Pool is a page store fronted by an LRU buffer. A Pool with capacity <= 0
 // never evicts (an effectively infinite buffer); pages still incur one read
 // when first faulted after a Drop or when written back.
@@ -64,6 +103,7 @@ type Pool struct {
 	dirty  map[PageID]bool
 	nextID PageID
 	stats  Stats
+	met    *PoolMetrics // nil unless SetMetrics was called
 }
 
 // NewPool creates a pool whose buffer holds at most capacityPages pages
@@ -75,6 +115,16 @@ func NewPool(capacityPages int) *Pool {
 		lru:      list.New(),
 		index:    make(map[PageID]*list.Element),
 		dirty:    make(map[PageID]bool),
+	}
+}
+
+// SetMetrics attaches telemetry instruments; every stats increment from
+// here on is mirrored into them. The page gauge is seeded with the current
+// allocation so late attachment stays accurate.
+func (p *Pool) SetMetrics(m *PoolMetrics) {
+	p.met = m
+	if m != nil {
+		m.pages.Set(float64(len(p.disk)))
 	}
 }
 
@@ -94,6 +144,9 @@ func (p *Pool) Alloc() PageID {
 	p.disk[id] = nil
 	p.touch(id)
 	p.dirty[id] = true
+	if p.met != nil {
+		p.met.pages.Add(1)
+	}
 	return id
 }
 
@@ -106,10 +159,16 @@ func (p *Pool) Read(id PageID) (any, error) {
 	}
 	if _, resident := p.index[id]; resident {
 		p.stats.Hits++
+		if p.met != nil {
+			p.met.hits.Inc()
+		}
 		p.touch(id)
 		return v, nil
 	}
 	p.stats.Reads++
+	if p.met != nil {
+		p.met.reads.Inc()
+	}
 	p.touch(id)
 	return v, nil
 }
@@ -134,6 +193,9 @@ func (p *Pool) Free(id PageID) {
 		delete(p.index, id)
 	}
 	delete(p.dirty, id)
+	if _, ok := p.disk[id]; ok && p.met != nil {
+		p.met.pages.Add(-1)
+	}
 	delete(p.disk, id)
 }
 
@@ -143,6 +205,9 @@ func (p *Pool) Flush() {
 	for id, d := range p.dirty {
 		if d {
 			p.stats.Writes++
+			if p.met != nil {
+				p.met.writes.Inc()
+			}
 			p.dirty[id] = false
 		}
 	}
@@ -191,6 +256,9 @@ func (p *Pool) touch(id PageID) {
 		delete(p.index, victim)
 		if p.dirty[victim] {
 			p.stats.Writes++
+			if p.met != nil {
+				p.met.writes.Inc()
+			}
 			p.dirty[victim] = false
 		}
 	}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format produced by WriteText.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// textWriter accumulates the first write error so the exposition loop does
+// not have to check every Fprintf (the same sticky-error shape as the
+// experiments report writer).
+type textWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *textWriter) printf(format string, args ...any) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, format, args...)
+	}
+}
+
+// WriteText renders every registered metric in the Prometheus text format:
+// families sorted by name, one HELP/TYPE header each, samples in
+// registration order. Instrument values are read atomically, so WriteText
+// is safe to call while the engine is updating metrics.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	tw := &textWriter{w: w}
+	for _, f := range fams {
+		if f.help != "" {
+			tw.printf("# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		tw.printf("# TYPE %s %s\n", f.name, f.kind)
+		for _, sig := range f.order {
+			switch inst := f.instruments[sig].(type) {
+			case *Counter:
+				tw.printf("%s%s %d\n", f.name, sig, inst.Value())
+			case *Gauge:
+				tw.printf("%s%s %s\n", f.name, sig, formatFloat(inst.Value()))
+			case gaugeFunc:
+				tw.printf("%s%s %s\n", f.name, sig, formatFloat(inst()))
+			case *Histogram:
+				writeHistogram(tw, f.name, sig, inst)
+			}
+		}
+	}
+	return tw.err
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count for one histogram instrument.
+func writeHistogram(tw *textWriter, name, sig string, h *Histogram) {
+	cum := h.BucketCounts()
+	for i, bound := range h.bounds {
+		tw.printf("%s_bucket%s %d\n", name, withLabel(sig, "le", formatFloat(bound)), cum[i])
+	}
+	tw.printf("%s_bucket%s %d\n", name, withLabel(sig, "le", "+Inf"), cum[len(cum)-1])
+	tw.printf("%s_sum%s %s\n", name, sig, formatFloat(h.Sum()))
+	tw.printf("%s_count%s %d\n", name, sig, h.Count())
+}
+
+// withLabel splices one more label into an existing {..} signature.
+func withLabel(sig, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the text-format HELP escapes (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"time"
+
+	"pdr/internal/stopwatch"
+)
+
+// PhaseSpan is one timed phase of a query trace.
+type PhaseSpan struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace records the phase breakdown of a single query (parse -> filter ->
+// refine/pa-eval -> union). It meters wall time through internal/stopwatch
+// — the one approved clock wrapper in simulation-time packages — so the
+// engine can trace its phases without tripping pdrvet's wallclock rule.
+// A Trace belongs to one query evaluation and is not safe for concurrent
+// use; a nil *Trace is a no-op on every method, so call sites need no
+// guards when tracing is off.
+type Trace struct {
+	spans []PhaseSpan
+	cur   string
+	sw    stopwatch.Stopwatch
+	open  bool
+}
+
+// NewTrace starts an empty trace; the first span opens at the first Phase
+// call.
+func NewTrace() *Trace { return &Trace{} }
+
+// Phase closes the current span (if any) and opens a new one named name.
+func (t *Trace) Phase(name string) {
+	if t == nil {
+		return
+	}
+	t.closeSpan()
+	t.cur = name
+	t.sw = stopwatch.Start()
+	t.open = true
+}
+
+// End closes the current span. Further Phase calls may reopen the trace
+// (Interval queries append spans snapshot by snapshot).
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.closeSpan()
+}
+
+func (t *Trace) closeSpan() {
+	if !t.open {
+		return
+	}
+	t.spans = append(t.spans, PhaseSpan{Name: t.cur, Duration: t.sw.Elapsed()})
+	t.open = false
+}
+
+// Spans returns the recorded phase spans in order. The returned slice is
+// the trace's own storage; callers must not mutate it.
+func (t *Trace) Spans() []PhaseSpan {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// MergeSpans folds src into dst by phase name, summing durations — the
+// aggregation an interval query uses to combine its per-snapshot traces.
+// Phase order follows first appearance.
+func MergeSpans(dst, src []PhaseSpan) []PhaseSpan {
+	for _, s := range src {
+		found := false
+		for i := range dst {
+			if dst[i].Name == s.Name {
+				dst[i].Duration += s.Duration
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}

@@ -36,6 +36,9 @@ go test ./...
 step "go test -race (service + monitor: the concurrent surfaces)"
 go test -race ./internal/service/... ./internal/monitor/...
 
+step "telemetry (race on the atomic registry + instrumented service)"
+go test -race ./internal/telemetry ./internal/service
+
 step "fuzz smoke: geometry area identity (5s)"
 go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime 5s ./internal/geom/
 
