@@ -495,6 +495,9 @@ func parsePastTick(v string, now motion.Tick) (motion.Tick, error) {
 		}
 		t = motion.Tick(k)
 	}
+	if t < 0 {
+		return 0, fmt.Errorf("timestamp %q is before the start of history: past queries cover [0, %d)", v, now)
+	}
 	if t >= now {
 		return 0, fmt.Errorf("timestamp %d is not in the past (now=%d); use /v1/query for the live window", t, now)
 	}

@@ -30,6 +30,33 @@ func testService(t *testing.T) (*Service, *httptest.Server) {
 	return svc, ts
 }
 
+// advanceTicks advances the generator n ticks, posting each batch of
+// updates so the server's clock follows.
+func advanceTicks(t *testing.T, ts *httptest.Server, g *datagen.Generator, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ups := g.Advance()
+		var ur UpdatesRequest
+		ur.Now = g.Now()
+		for _, u := range ups {
+			kind := wire.KindInsert
+			if u.Kind == motion.Delete {
+				kind = wire.KindDelete
+			}
+			ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
+		}
+		body, _ := json.Marshal(ur)
+		resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("updates status %d", resp.StatusCode)
+		}
+	}
+}
+
 func loadWorkload(t *testing.T, ts *httptest.Server, n int) *datagen.Generator {
 	t.Helper()
 	gcfg := datagen.DefaultConfig(n)
@@ -451,24 +478,7 @@ func TestPastEndpoint(t *testing.T) {
 	defer ts.Close()
 	g := loadWorkload(t, ts, 1500)
 	// Advance a few ticks so there is a past to query.
-	for i := 0; i < 5; i++ {
-		ups := g.Advance()
-		var ur UpdatesRequest
-		ur.Now = g.Now()
-		for _, u := range ups {
-			kind := wire.KindInsert
-			if u.Kind == motion.Delete {
-				kind = wire.KindDelete
-			}
-			ur.Updates = append(ur.Updates, wire.FromState(kind, u.State, u.At))
-		}
-		body, _ := json.Marshal(ur)
-		resp, err := http.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-	}
+	advanceTicks(t, ts, g, 5)
 	resp, err := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=2")
 	if err != nil {
 		t.Fatal(err)
@@ -508,8 +518,9 @@ func TestPastEndpoint(t *testing.T) {
 		t.Errorf("now-3 resolved to %d, want %d", qr2.At, g.Now()-3)
 	}
 	_, ts2 := testService(t) // history disabled
-	loadWorkload(t, ts2, 50)
-	r3, _ := http.Get(ts2.URL + "/v1/past?varrho=2&l=60&at=-1")
+	g2 := loadWorkload(t, ts2, 50)
+	advanceTicks(t, ts2, g2, 1)
+	r3, _ := http.Get(ts2.URL + "/v1/past?varrho=2&l=60&at=0")
 	r3.Body.Close()
 	if r3.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("history-disabled past query status %d", r3.StatusCode)
@@ -519,5 +530,14 @@ func TestPastEndpoint(t *testing.T) {
 	r4.Body.Close()
 	if r4.StatusCode != http.StatusBadRequest {
 		t.Errorf("at=now status %d", r4.StatusCode)
+	}
+	// A pre-history tick is a clear 400, not an engine error — even with a
+	// clock so fresh that now-K underflows tick 0.
+	for _, at := range []string{"-1", "now-9999"} {
+		r5, _ := http.Get(ts.URL + "/v1/past?varrho=2&l=60&at=" + at)
+		r5.Body.Close()
+		if r5.StatusCode != http.StatusBadRequest {
+			t.Errorf("at=%s status %d, want 400", at, r5.StatusCode)
+		}
 	}
 }

@@ -57,6 +57,15 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush delegates to the underlying writer so a streaming handler behind
+// the middleware keeps working; the embedded ResponseWriter would otherwise
+// hide the optional http.Flusher interface.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // detailKey carries the per-request queryDetail through the context.
 type detailKey struct{}
 

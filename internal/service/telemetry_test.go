@@ -223,6 +223,27 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 }
 
+// TestStatusRecorderFlush pins that the middleware's wrapper forwards
+// Flush, so a streaming handler registered via handle() keeps working.
+func TestStatusRecorderFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	var _ http.Flusher = sr
+	sr.Flush()
+	if !rec.Flushed {
+		t.Error("Flush not delegated to the underlying writer")
+	}
+	// A non-Flusher underlying writer must not panic.
+	(&statusRecorder{ResponseWriter: nopResponseWriter{}}).Flush()
+}
+
+// nopResponseWriter is a ResponseWriter without optional interfaces.
+type nopResponseWriter struct{}
+
+func (nopResponseWriter) Header() http.Header         { return http.Header{} }
+func (nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (nopResponseWriter) WriteHeader(int)             {}
+
 func TestParseTick(t *testing.T) {
 	const now, horizon = 100, 90
 	cases := []struct {
@@ -266,12 +287,13 @@ func TestParsePastTick(t *testing.T) {
 	}{
 		{"now-1", 99, false},
 		{"now-100", 0, false},
-		{"now-0", 0, true}, // not in the past
+		{"now-101", 0, true}, // underflows past the start of history
+		{"now-0", 0, true},   // not in the past
 		{"now--3", 0, true},
 		{"50", 50, false},
-		{"-1", -1, false}, // ticks may be negative; still before now
-		{"100", 0, true},  // == now
-		{"101", 0, true},  // future
+		{"-1", 0, true},  // before the start of history
+		{"100", 0, true}, // == now
+		{"101", 0, true}, // future
 		{"now", 0, true},
 		{"now+5", 0, true},
 		{"", 0, true},

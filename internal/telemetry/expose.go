@@ -26,15 +26,38 @@ func (t *textWriter) printf(format string, args ...any) {
 	}
 }
 
+// sample pairs one label signature with its instrument for exposition.
+type sample struct {
+	sig  string
+	inst any
+}
+
+// famSnapshot is an immutable copy of one family's metadata and sample
+// list, taken under the registry mutex so exposition never reads the live
+// order slice or instruments map while register() mutates them.
+type famSnapshot struct {
+	name, help, kind string
+	samples          []sample
+}
+
 // WriteText renders every registered metric in the Prometheus text format:
 // families sorted by name, one HELP/TYPE header each, samples in
-// registration order. Instrument values are read atomically, so WriteText
-// is safe to call while the engine is updating metrics.
+// registration order. Family structure is snapshotted under the registry
+// mutex (lazy registration may run concurrently) and instrument values are
+// read atomically, so WriteText is safe to call while the engine is
+// registering and updating metrics.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnapshot, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		fs := famSnapshot{
+			name: f.name, help: f.help, kind: f.kind,
+			samples: make([]sample, 0, len(f.order)),
+		}
+		for _, sig := range f.order {
+			fs.samples = append(fs.samples, sample{sig: sig, inst: f.instruments[sig]})
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -45,16 +68,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 			tw.printf("# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		tw.printf("# TYPE %s %s\n", f.name, f.kind)
-		for _, sig := range f.order {
-			switch inst := f.instruments[sig].(type) {
+		for _, s := range f.samples {
+			switch inst := s.inst.(type) {
 			case *Counter:
-				tw.printf("%s%s %d\n", f.name, sig, inst.Value())
+				tw.printf("%s%s %d\n", f.name, s.sig, inst.Value())
 			case *Gauge:
-				tw.printf("%s%s %s\n", f.name, sig, formatFloat(inst.Value()))
+				tw.printf("%s%s %s\n", f.name, s.sig, formatFloat(inst.Value()))
 			case gaugeFunc:
-				tw.printf("%s%s %s\n", f.name, sig, formatFloat(inst()))
+				tw.printf("%s%s %s\n", f.name, s.sig, formatFloat(inst()))
 			case *Histogram:
-				writeHistogram(tw, f.name, sig, inst)
+				writeHistogram(tw, f.name, s.sig, inst)
 			}
 		}
 	}

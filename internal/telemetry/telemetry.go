@@ -186,7 +186,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if !ok {
 		panic(fmt.Sprintf("telemetry: metric %s is not a histogram", name))
 	}
+	// A freshly built histogram stores the requested bounds, so a mismatch
+	// here means a re-registration with different bounds — panic like the
+	// kind-collision check instead of silently keeping the old buckets.
+	if !equalBounds(h.bounds, bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %s re-registered with bounds %v (was %v)", name, bounds, h.bounds))
+	}
 	return h
+}
+
+// equalBounds reports whether two bucket-bound slices are element-wise
+// identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// lint:ignore floateq registration-collision check: bounds are
+		// caller-supplied literals and must match bit for bit.
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Counter is a monotonically increasing count. The zero value is ready to

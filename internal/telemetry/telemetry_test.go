@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -49,6 +51,14 @@ func TestBadRegistrationsPanic(t *testing.T) {
 		},
 		"negative counter add": func(r *Registry) { r.Counter("pdr_neg_total", "h").Add(-1) },
 		"unordered buckets":    func(r *Registry) { r.Histogram("pdr_h_seconds", "h", []float64{1, 1}) },
+		"bounds collision": func(r *Registry) {
+			r.Histogram("pdr_b_seconds", "h", []float64{1, 2})
+			r.Histogram("pdr_b_seconds", "h", []float64{1, 3})
+		},
+		"default-bounds collision": func(r *Registry) {
+			r.Histogram("pdr_d_seconds", "h", nil)
+			r.Histogram("pdr_d_seconds", "h", []float64{1, 2})
+		},
 	}
 	for name, fn := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -183,6 +193,49 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 	if h.Count() != workers*iters {
 		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+}
+
+// TestScrapeDuringLazyRegistration races WriteText against registrations
+// that add brand-new label signatures (the service middleware materializes
+// status-code labels lazily, so first-seen statuses mutate a family's order
+// slice and instruments map mid-flight). Run under -race by
+// scripts/check.sh; before exposition snapshotted families under the
+// registry mutex this was a concurrent map read/write panic.
+func TestScrapeDuringLazyRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("pdr_lazy_total", "h",
+					L("worker", strconv.Itoa(w)), L("status", strconv.Itoa(i))).Inc()
+				r.Histogram("pdr_lazy_seconds", "h", nil, L("worker", strconv.Itoa(w)),
+					L("status", strconv.Itoa(i))).Observe(0.001)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := r.WriteText(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "pdr_lazy_total{"); got != workers*iters {
+		t.Errorf("exposed %d pdr_lazy_total samples, want %d", got, workers*iters)
 	}
 }
 
