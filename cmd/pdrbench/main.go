@@ -6,14 +6,18 @@
 //	pdrbench [-exp all] [-n 100000] [-queries 5] [-warm 20] [-seed 1] [-sizes 10000,50000,100000]
 //
 // Experiments: table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b,
-// fig10a, fig10b, ablations, all. Absolute numbers depend on the host; the
-// paper's shapes (who wins, by what factor) are the reproduction target.
+// fig10a, fig10b, interval, parallel, baselines, ablations, all. Absolute
+// numbers depend on the host; the paper's shapes (who wins, by what factor)
+// are the reproduction target. "parallel" is the worker-pool scaling study
+// (not part of "all"); with -benchjson DIR it records BENCH_interval.json
+// and BENCH_snapshot.json (see docs/PERFORMANCE.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -23,14 +27,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, baselines, ablations, all)")
-		n       = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
-		queries = flag.Int("queries", 5, "queries per parameter point")
-		warm    = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		sizes   = flag.String("sizes", "10000,50000,100000", "dataset sizes for fig10b")
-		format  = flag.String("format", "table", "output format for figure data: table or csv")
-		svgDir  = flag.String("svgdir", "", "when set, fig7 also renders SVG plots into this directory")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, baselines, ablations, all)")
+		n         = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
+		queries   = flag.Int("queries", 5, "queries per parameter point")
+		warm      = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		sizes     = flag.String("sizes", "10000,50000,100000", "dataset sizes for fig10b")
+		format    = flag.String("format", "table", "output format for figure data: table or csv")
+		svgDir    = flag.String("svgdir", "", "when set, fig7 also renders SVG plots into this directory")
+		workers   = flag.String("workers", "1,2,4,8", "worker-pool sizes for -exp parallel")
+		benchJSON = flag.String("benchjson", "", "when set with -exp parallel, write BENCH_interval.json and BENCH_snapshot.json into this directory")
 	)
 	flag.Parse()
 
@@ -46,8 +52,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	workerList, err := parseSizes(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdrbench: -workers:", err)
+		os.Exit(2)
+	}
+
 	r := experiments.NewRunner(p)
-	if err := run(r, strings.ToLower(*exp), sizeList, *format == "csv", *svgDir); err != nil {
+	if err := run(r, strings.ToLower(*exp), sizeList, workerList, *format == "csv", *svgDir, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrbench:", err)
 		os.Exit(1)
 	}
@@ -72,7 +84,7 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir string) error {
+func run(r *experiments.Runner, exp string, sizes, workers []int, asCSV bool, svgDir, benchJSON string) error {
 	all := exp == "all"
 	section := func(name, paper string) {
 		fmt.Printf("\n=== %s — %s ===\n", name, paper)
@@ -204,6 +216,46 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 			return err
 		}
 	}
+	// The parallel scaling study is opt-in (not part of "all"): its numbers
+	// are host-dependent by design, and "all" reproduces the paper.
+	if exp == "parallel" {
+		section("Parallel (extension)", "query wall time vs worker-pool size")
+		bp := experiments.DefaultParallelBenchParams()
+		bp.Workers = workers
+		iv, err := r.ParallelInterval(bp)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintParallel(os.Stdout, iv); err != nil {
+			return err
+		}
+		snap, err := r.ParallelSnapshot(bp)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintParallel(os.Stdout, snap); err != nil {
+			return err
+		}
+		if benchJSON != "" {
+			for name, b := range map[string]*experiments.ParallelBench{
+				"BENCH_interval.json": iv, "BENCH_snapshot.json": snap,
+			} {
+				path := filepath.Join(benchJSON, name)
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				err = b.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+	}
 	if all || exp == "baselines" {
 		section("Baselines", "prior-art methods (Figs 1-3 arguments) quantified vs exact PDR")
 		rows, err := r.BaselineComparison()
@@ -248,7 +300,7 @@ func run(r *experiments.Runner, exp string, sizes []int, asCSV bool, svgDir stri
 	}
 	switch exp {
 	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
-		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "baselines", "ablations":
+		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "baselines", "ablations":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
-//	         [-slow-query 250ms] [-debug-addr localhost:6060]
+//	         [-workers 0] [-slow-query 250ms] [-debug-addr localhost:6060]
 //
 // Example session:
 //
@@ -35,6 +35,7 @@ func main() {
 		data      = flag.String("data", "", "optional workload file from pdrgen to pre-load")
 		l         = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
 		histM     = flag.Int("histm", 100, "density histogram resolution per axis")
+		workers   = flag.Int("workers", 0, "query worker-pool size: 0 = GOMAXPROCS, 1 = sequential")
 		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060)")
 	)
@@ -43,6 +44,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.L = *l
 	cfg.HistM = *histM
+	cfg.Workers = *workers
 	cfg.KeepHistory = true // the /v1/past audit endpoint needs the archive
 	var opts []service.Option
 	if *slowQuery > 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"pdr/internal/telemetry"
 )
 
@@ -10,18 +12,30 @@ var metricMethods = []Method{FR, PA, DHOptimistic, DHPessimistic, BruteForce}
 // filter-mark label values for pdr_engine_filter_cells_total.
 var filterMarks = []string{"accepted", "rejected", "candidate"}
 
+// fanoutBounds buckets fan-out sizes (snapshots per interval query, windows
+// per refinement) — small powers of two up to paper-scale candidate counts.
+var fanoutBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // Metrics is the engine's instrument bundle: per-method query counts and
 // latency distributions, the filter step's cell classification (the paper's
-// Sec. 5 cost drivers), refinement fan-in, and interval-query fan-out. All
-// instruments are atomic, so a /metrics scrape never needs the engine lock.
+// Sec. 5 cost drivers), refinement fan-in, interval-query fan-out, and the
+// parallel execution layer (worker-pool occupancy, per-query fan-out
+// distributions, wall-clock interval latency — the series where added
+// workers show up as left-shifted buckets). All instruments are atomic, so
+// a /metrics scrape never needs the engine lock.
 type Metrics struct {
-	queries   map[Method]*telemetry.Counter
-	latency   map[Method]*telemetry.Histogram
-	errors    *telemetry.Counter
-	filter    map[string]*telemetry.Counter
-	retrieved *telemetry.Counter
-	intervals *telemetry.Counter
-	fanout    *telemetry.Counter
+	queries      map[Method]*telemetry.Counter
+	latency      map[Method]*telemetry.Histogram
+	errors       *telemetry.Counter
+	filter       map[string]*telemetry.Counter
+	retrieved    *telemetry.Counter
+	intervals    *telemetry.Counter
+	fanout       *telemetry.Counter
+	fanoutHist   *telemetry.Histogram
+	intervalWall *telemetry.Histogram
+	refineFanout *telemetry.Histogram
+	workers      *telemetry.Gauge
+	busy         *telemetry.Gauge
 }
 
 // NewMetrics registers the engine instruments on reg.
@@ -38,6 +52,19 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Interval PDR queries answered."),
 		fanout: reg.Counter("pdr_engine_interval_snapshots_total",
 			"Snapshot evaluations fanned out by interval queries."),
+		fanoutHist: reg.Histogram("pdr_engine_interval_fanout_snapshots",
+			"Per-interval-query fan-out (snapshots dispatched to the worker pool).",
+			fanoutBounds),
+		intervalWall: reg.Histogram("pdr_engine_interval_wall_seconds",
+			"Wall-clock interval query latency (drops as workers are added; compare against summed per-snapshot cost).",
+			nil),
+		refineFanout: reg.Histogram("pdr_engine_refine_fanout_windows",
+			"Per-FR-query refinement fan-out (candidate windows dispatched to the worker pool).",
+			fanoutBounds),
+		workers: reg.Gauge("pdr_parallel_workers",
+			"Configured query worker-pool size (core.Config.Workers, 0 resolved to GOMAXPROCS)."),
+		busy: reg.Gauge("pdr_parallel_workers_busy",
+			"Worker-pool helper goroutines currently running fan-out items."),
 	}
 	for _, mm := range metricMethods {
 		m.queries[mm] = reg.Counter("pdr_engine_queries_total",
@@ -65,10 +92,14 @@ func (m *Metrics) observe(res *Result) {
 	m.retrieved.Add(int64(res.ObjectsRetrieved))
 }
 
-// observeInterval records an interval query's snapshot fan-out.
-func (m *Metrics) observeInterval(snapshots int64) {
+// observeInterval records an interval query's snapshot fan-out and its
+// wall-clock latency (the client-visible duration of the parallel union,
+// as opposed to the summed per-snapshot CPU in Result.CPU).
+func (m *Metrics) observeInterval(snapshots int64, wall time.Duration) {
 	m.intervals.Inc()
 	m.fanout.Add(snapshots)
+	m.fanoutHist.Observe(float64(snapshots))
+	m.intervalWall.Observe(wall.Seconds())
 }
 
 // QueriesServed returns the per-method query counts — the shared source of
@@ -83,4 +114,14 @@ func (m *Metrics) QueriesServed() map[string]int64 {
 
 // SetMetrics attaches an instrument bundle to the server; a nil bundle
 // disables engine metrics (the default for offline/experiment servers).
-func (s *Server) SetMetrics(m *Metrics) { s.met = m }
+// Call before serving traffic: attachment is not synchronized with
+// in-flight queries.
+func (s *Server) SetMetrics(m *Metrics) {
+	s.met = m
+	if m != nil {
+		m.workers.Set(float64(s.par.Workers()))
+		s.par.SetBusyGauge(m.busy)
+	} else {
+		s.par.SetBusyGauge(nil)
+	}
+}

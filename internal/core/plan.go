@@ -27,7 +27,9 @@ type Plan struct {
 // a branch-and-bound extraction; otherwise exact FR is cheap enough to
 // prefer.
 func (s *Server) Recommend(q Query, allowApprox bool) (*Plan, error) {
-	if err := s.validate(q); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.validateLocked(q); err != nil {
 		return nil, err
 	}
 	if !allowApprox {

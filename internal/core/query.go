@@ -8,6 +8,7 @@ import (
 	"pdr/internal/geom"
 	"pdr/internal/motion"
 	"pdr/internal/stopwatch"
+	"pdr/internal/storage"
 	"pdr/internal/sweep"
 	"pdr/internal/telemetry"
 )
@@ -80,7 +81,7 @@ type Result struct {
 // Total returns CPU + IOTime.
 func (r *Result) Total() time.Duration { return r.CPU + r.IOTime }
 
-func (s *Server) validate(q Query) error {
+func (s *Server) validateLocked(q Query) error {
 	if q.Rho < 0 {
 		return fmt.Errorf("core: negative density threshold %g", q.Rho)
 	}
@@ -93,9 +94,30 @@ func (s *Server) validate(q Query) error {
 	return nil
 }
 
-// Snapshot answers the snapshot PDR query q with the given method.
+// Snapshot answers the snapshot PDR query q with the given method. Any
+// number of Snapshot/Interval calls may run concurrently; they serialize
+// only against mutations (Tick, Apply, Load).
 func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
-	if err := s.validate(q); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.snapshotLocked(q, m, true)
+	if err != nil {
+		return nil, err
+	}
+	if s.met != nil {
+		s.met.observe(res)
+	}
+	return res, nil
+}
+
+// snapshotLocked evaluates one snapshot query under the (read) lock. With
+// trackIO it charges the query the pool's physical-I/O delta across its
+// evaluation — exact in isolation, approximate attribution when other
+// queries overlap (the pool counters are engine-global). Interval fan-outs
+// pass trackIO=false and charge I/O once at the interval level instead, so
+// concurrent sub-snapshots never double-count each other's page accesses.
+func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error) {
+	if err := s.validateLocked(q); err != nil {
 		if s.met != nil {
 			s.met.errors.Inc()
 		}
@@ -103,18 +125,21 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	}
 	res := &Result{Method: m}
 	tr := telemetry.NewTrace()
-	ioBefore := s.pool.Stats()
+	var ioBefore storage.Stats
+	if trackIO {
+		ioBefore = s.pool.Stats()
+	}
 	sw := stopwatch.Start()
 	var err error
 	switch m {
 	case FR:
-		err = s.snapshotFR(q, res, tr)
+		err = s.snapshotFRLocked(q, res, tr)
 	case PA:
-		err = s.snapshotPA(q, res, tr)
+		err = s.snapshotPALocked(q, res, tr)
 	case DHOptimistic, DHPessimistic:
-		err = s.snapshotDH(q, m, res, tr)
+		err = s.snapshotDHLocked(q, m, res, tr)
 	case BruteForce:
-		s.snapshotBF(q, res, tr)
+		s.snapshotBFLocked(q, res, tr)
 	default:
 		err = fmt.Errorf("core: unknown method %d", m)
 	}
@@ -126,22 +151,28 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	}
 	tr.End()
 	res.CPU = sw.Elapsed()
-	res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
-	res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
-	res.Phases = tr.Spans()
-	if s.met != nil {
-		s.met.observe(res)
+	if trackIO {
+		res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
+		res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
 	}
+	res.Phases = tr.Spans()
 	return res, nil
 }
 
-// snapshotFR runs filtering over the histogram and plane-sweep refinement
-// over index range results for every candidate window. The paper refines
-// cell by cell; with Config.MergeCandidates adjacent candidate cells are
-// coalesced into maximal windows first, saving duplicate index retrievals
-// where candidates cluster (the grown squares of neighboring cells overlap
-// heavily). Both modes return identical regions.
-func (s *Server) snapshotFR(q Query, res *Result, tr *telemetry.Trace) error {
+// snapshotFRLocked runs filtering over the histogram and plane-sweep
+// refinement over index range results for every candidate window. The paper
+// refines cell by cell; with Config.MergeCandidates adjacent candidate cells
+// are coalesced into maximal windows first, saving duplicate index
+// retrievals where candidates cluster (the grown squares of neighboring
+// cells overlap heavily). Both modes return identical regions.
+//
+// Refinement is the method's hot loop and each window is independent
+// (Sec. 5.3's per-cell sweeps share nothing), so the windows fan out over
+// the worker pool: every worker retrieves its window's objects from the
+// index and runs the plane sweep with pooled scratch. Results land in a
+// per-window slot and are merged in window order, so the output is
+// byte-identical to the sequential path at any worker count.
+func (s *Server) snapshotFRLocked(q Query, res *Result, tr *telemetry.Trace) error {
 	tr.Phase("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
@@ -158,7 +189,13 @@ func (s *Server) snapshotFR(q Query, res *Result, tr *telemetry.Trace) error {
 		windows = geom.Coalesce(windows)
 	}
 	tr.Phase("refine")
-	for _, cell := range windows {
+	if s.met != nil {
+		s.met.refineFanout.Observe(float64(len(windows)))
+	}
+	parts := make([]geom.Region, len(windows))
+	retrieved := make([]int, len(windows))
+	s.par.ForEach(len(windows), func(wi int) {
+		cell := windows[wi]
 		grown := cell.Grow(q.L / 2)
 		var points []geom.Point
 		s.index.Search(grown, q.At, func(st motion.State) bool {
@@ -168,15 +205,19 @@ func (s *Server) snapshotFR(q Query, res *Result, tr *telemetry.Trace) error {
 			}
 			return true
 		})
-		res.ObjectsRetrieved += len(points)
-		region = append(region, sweep.DenseRects(points, cell, q.Rho, q.L)...)
+		retrieved[wi] = len(points)
+		parts[wi] = sweep.DenseRects(points, cell, q.Rho, q.L)
+	})
+	for wi := range parts {
+		res.ObjectsRetrieved += retrieved[wi]
+		region = append(region, parts[wi]...)
 	}
 	tr.Phase("union")
 	res.Region = geom.Coalesce(region)
 	return nil
 }
 
-func (s *Server) snapshotPA(q Query, res *Result, tr *telemetry.Trace) error {
+func (s *Server) snapshotPALocked(q Query, res *Result, tr *telemetry.Trace) error {
 	// lint:ignore floateq config identity: the surfaces answer only the
 	// exact l they were built for; a nearly-equal l must be rejected too.
 	if q.L != s.surf.L() {
@@ -192,7 +233,7 @@ func (s *Server) snapshotPA(q Query, res *Result, tr *telemetry.Trace) error {
 	return nil
 }
 
-func (s *Server) snapshotDH(q Query, m Method, res *Result, tr *telemetry.Trace) error {
+func (s *Server) snapshotDHLocked(q Query, m Method, res *Result, tr *telemetry.Trace) error {
 	tr.Phase("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
@@ -208,7 +249,7 @@ func (s *Server) snapshotDH(q Query, m Method, res *Result, tr *telemetry.Trace)
 	return nil
 }
 
-func (s *Server) snapshotBF(q Query, res *Result, tr *telemetry.Trace) {
+func (s *Server) snapshotBFLocked(q Query, res *Result, tr *telemetry.Trace) {
 	tr.Phase("refine")
 	points := make([]geom.Point, 0, len(s.live))
 	for _, st := range s.live {
@@ -227,6 +268,8 @@ func (s *Server) snapshotBF(q Query, res *Result, tr *telemetry.Trace) {
 // that were already current at q.At. Requires Config.KeepHistory; q.At must
 // precede the server clock (use Snapshot for now and the future).
 func (s *Server) PastSnapshot(q Query) (*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.hst == nil {
 		return nil, fmt.Errorf("core: history is disabled (set Config.KeepHistory)")
 	}
@@ -262,32 +305,56 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 // Interval answers the interval PDR query (rho, l, [q.At, until]) — the
 // union of the snapshot answers over every timestamp in the range
 // (Definition 5) — accumulating costs across snapshots.
+//
+// The per-timestamp snapshots are independent (each reads a different
+// histogram slot and projects the same index to a different time), so they
+// fan out over the worker pool and their results merge deterministically:
+// sub-results land in per-timestamp slots, are concatenated in timestamp
+// order, and the union is coalesced — identical output at any worker count.
+// Costs aggregate as before: CPU is the summed computation across snapshots
+// (total work, not wall time), and I/O is charged once from the pool delta
+// across the whole fan-out so overlapping sub-snapshots never double-count
+// a page access.
 func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error) {
 	if until < q.At {
 		return nil, fmt.Errorf("core: empty interval [%d, %d]", q.At, until)
 	}
-	out := &Result{Method: m}
-	var region geom.Region
-	for t := q.At; t <= until; t++ {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sw := stopwatch.Start()
+	n := int(until-q.At) + 1
+	ioBefore := s.pool.Stats()
+	subs := make([]*Result, n)
+	errs := make([]error, n)
+	s.par.ForEach(n, func(i int) {
 		sub := q
-		sub.At = t
-		r, err := s.Snapshot(sub, m)
+		sub.At = q.At + motion.Tick(i)
+		subs[i], errs[i] = s.snapshotLocked(sub, m, false)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	out := &Result{Method: m}
+	var region geom.Region
+	for _, r := range subs {
 		region = append(region, r.Region...)
 		out.CPU += r.CPU
-		out.IOs += r.IOs
-		out.IOTime += r.IOTime
 		out.Accepted += r.Accepted
 		out.Rejected += r.Rejected
 		out.Candidates += r.Candidates
 		out.ObjectsRetrieved += r.ObjectsRetrieved
 		out.Phases = telemetry.MergeSpans(out.Phases, r.Phases)
 	}
-	out.Region = region
+	out.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
+	out.IOTime = time.Duration(out.IOs) * s.cfg.IOCharge
+	// Snapshots of adjacent timestamps overlap heavily; coalescing the
+	// union keeps the answer free of redundant rectangles, exactly like the
+	// per-snapshot answers.
+	out.Region = geom.Coalesce(region)
 	if s.met != nil {
-		s.met.observeInterval(int64(until-q.At) + 1)
+		s.met.observeInterval(int64(n), sw.Elapsed())
 	}
 	return out, nil
 }
@@ -295,7 +362,9 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 // FilterMarks exposes the raw filter classification for a query — used by
 // the experiment harness and example programs to visualize the filter step.
 func (s *Server) FilterMarks(q Query) (*dh.FilterResult, error) {
-	if err := s.validate(q); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.validateLocked(q); err != nil {
 		return nil, err
 	}
 	return s.hist.Filter(q.At, q.Rho, q.L)

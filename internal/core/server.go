@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pdr/internal/bxtree"
@@ -27,6 +28,7 @@ import (
 	"pdr/internal/history"
 	"pdr/internal/motion"
 	"pdr/internal/pa"
+	"pdr/internal/parallel"
 	"pdr/internal/storage"
 	"pdr/internal/tprtree"
 )
@@ -97,6 +99,12 @@ type Config struct {
 	// candidates cluster. Answers are identical with or without it; the
 	// paper's per-cell refinement is the default.
 	MergeCandidates bool
+	// Workers bounds the query worker pool used at the engine's fan-out
+	// points (per-timestamp snapshots of an interval query, per-window
+	// refinement sweeps). 0 selects GOMAXPROCS; 1 runs every query
+	// sequentially. Answers are identical at every setting (see
+	// docs/PERFORMANCE.md for the determinism argument).
+	Workers int
 }
 
 // DefaultConfig returns the paper's default experimental setup (Table 1,
@@ -115,18 +123,31 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server maintains all query structures over the update stream. It is not
-// safe for concurrent use.
+// Server maintains all query structures over the update stream.
+//
+// Concurrency: the server is a single-writer/many-reader engine. Mutations
+// (Tick, Apply, Load) take the write lock; queries (Snapshot, Interval,
+// PastSnapshot, FilterMarks, Recommend) take the read lock, so any number
+// of queries run simultaneously and only writers serialize. The summary
+// structures (histogram, surfaces, index) are read-only during queries, the
+// buffer pool locks internally, and all telemetry is atomic, so concurrent
+// readers never contend on engine state. Methods named *Locked assume the
+// caller holds mu (the pdrvet locked analyzer enforces the discipline).
 type Server struct {
 	cfg   Config
-	now   motion.Tick
 	hist  *dh.Histogram
 	surf  *pa.Surface
 	pool  *storage.Pool
 	index Index
-	live  map[motion.ObjectID]motion.State
 	hst   *history.Store // nil unless cfg.KeepHistory
-	met   *Metrics       // nil unless SetMetrics was called
+	met   *Metrics       // nil unless SetMetrics was called (pre-traffic)
+	par   *parallel.Pool // bounded fan-out workers (cfg.Workers)
+
+	mu sync.RWMutex
+	// now is the server clock; guarded by mu.
+	now motion.Tick
+	// live maps object IDs to their current movement; guarded by mu.
+	live map[motion.ObjectID]motion.State
 }
 
 // NewServer builds an empty server.
@@ -206,6 +227,7 @@ func NewServer(cfg Config) (*Server, error) {
 		index: index,
 		live:  make(map[motion.ObjectID]motion.State),
 		hst:   hst,
+		par:   parallel.New(cfg.Workers),
 	}, nil
 }
 
@@ -216,10 +238,21 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) Horizon() motion.Tick { return s.cfg.U + s.cfg.W }
 
 // Now returns the current server time.
-func (s *Server) Now() motion.Tick { return s.now }
+func (s *Server) Now() motion.Tick {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
+}
 
 // NumObjects returns the live object count.
-func (s *Server) NumObjects() int { return len(s.live) }
+func (s *Server) NumObjects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.live)
+}
+
+// Workers returns the effective query worker-pool size.
+func (s *Server) Workers() int { return s.par.Workers() }
 
 // Pool exposes the TPR-tree buffer pool (for I/O statistics).
 func (s *Server) Pool() *storage.Pool { return s.pool }
@@ -244,10 +277,12 @@ type bulkLoader interface {
 // supports it, the index portion uses packed bulk loading, which is roughly
 // an order of magnitude faster than one-at-a-time insertion.
 func (s *Server) Load(states []motion.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	bl, bulk := s.index.(bulkLoader)
 	if !bulk || s.index.Len() > 0 {
 		for _, st := range states {
-			if err := s.applyInsert(st); err != nil {
+			if err := s.applyInsertLocked(st); err != nil {
 				return err
 			}
 		}
@@ -266,6 +301,8 @@ func (s *Server) Load(states []motion.State) error {
 
 // Tick advances server time to now and applies the tick's update stream.
 func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if now < s.now {
 		return fmt.Errorf("core: time moved backwards: %d < %d", now, s.now)
 	}
@@ -274,7 +311,7 @@ func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
 	s.surf.Advance(now)
 	s.index.SetNow(now)
 	for _, u := range updates {
-		if err := s.Apply(u); err != nil {
+		if err := s.applyLocked(u); err != nil {
 			return err
 		}
 	}
@@ -283,17 +320,23 @@ func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
 
 // Apply processes a single update record.
 func (s *Server) Apply(u motion.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(u)
+}
+
+func (s *Server) applyLocked(u motion.Update) error {
 	switch u.Kind {
 	case motion.Insert:
-		return s.applyInsert(u.State)
+		return s.applyInsertLocked(u.State)
 	case motion.Delete:
-		return s.applyDelete(u.State, u.At)
+		return s.applyDeleteLocked(u.State, u.At)
 	default:
 		return fmt.Errorf("core: unknown update kind %d", u.Kind)
 	}
 }
 
-func (s *Server) applyInsert(st motion.State) error {
+func (s *Server) applyInsertLocked(st motion.State) error {
 	if _, ok := s.live[st.ID]; ok {
 		return fmt.Errorf("core: insert of live object %d (delete the stale movement first)", st.ID)
 	}
@@ -304,7 +347,7 @@ func (s *Server) applyInsert(st motion.State) error {
 	return nil
 }
 
-func (s *Server) applyDelete(st motion.State, at motion.Tick) error {
+func (s *Server) applyDeleteLocked(st motion.State, at motion.Tick) error {
 	cur, ok := s.live[st.ID]
 	if !ok {
 		return fmt.Errorf("core: delete of unknown object %d", st.ID)

@@ -28,6 +28,8 @@ type snapshot struct {
 // configuration, the clock, and every live movement; Restore rebuilds an
 // equivalent server from it.
 func (s *Server) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	states := make([]motion.State, 0, len(s.live))
 	for _, st := range s.live {
 		states = append(states, st)

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"pdr/internal/core"
+	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+)
+
+// ParallelPoint is the measurement at one worker-pool size.
+type ParallelPoint struct {
+	// Workers is the core.Config.Workers setting under test.
+	Workers int `json:"workers"`
+	// WallNanos is the best-of-Trials wall-clock time for one query.
+	WallNanos int64 `json:"wallNanos"`
+	// Speedup is the sequential (workers=1) wall time divided by this
+	// point's wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelBench is one recorded parallel-scaling baseline: the same query
+// answered by the same engine configuration at increasing worker-pool
+// sizes. The host facts (NumCPU, GOMAXPROCS) are part of the record — a
+// speedup curve is meaningless without them, and on a single-core host the
+// curve is legitimately flat.
+type ParallelBench struct {
+	// Kind is "interval" (per-timestamp snapshot fan-out) or "snapshot"
+	// (candidate-window refinement fan-out).
+	Kind string `json:"kind"`
+	// NumCPU and GOMAXPROCS describe the host the baseline was taken on.
+	NumCPU     int `json:"numCPU"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workload facts.
+	N      int     `json:"n"`
+	Seed   int64   `json:"seed"`
+	L      float64 `json:"l"`
+	Varrho float64 `json:"varrho"`
+	// Window is the interval width in ticks (0 for snapshot benches).
+	Window int `json:"window,omitempty"`
+	// Trials is how many times each point ran; WallNanos keeps the best.
+	Trials int `json:"trials"`
+	// Points are ordered by worker count; Points[0] is the sequential
+	// baseline the speedups are relative to.
+	Points []ParallelPoint `json:"points"`
+}
+
+// ParallelBenchParams configures a scaling run.
+type ParallelBenchParams struct {
+	// Workers lists the pool sizes to measure; 1 is prepended if absent
+	// (the speedup baseline).
+	Workers []int
+	// Window is the interval query width in ticks.
+	Window int
+	// Trials per point; the best wall time is kept to damp scheduler noise.
+	Trials int
+}
+
+// DefaultParallelBenchParams matches the recorded BENCH_*.json baselines.
+func DefaultParallelBenchParams() ParallelBenchParams {
+	return ParallelBenchParams{Workers: []int{1, 2, 4, 8}, Window: 8, Trials: 3}
+}
+
+// ParallelInterval measures interval-query wall time against worker-pool
+// size. Each pool size gets a freshly built, identically seeded server, so
+// buffer-pool warmth cannot favor later points.
+func (r *Runner) ParallelInterval(bp ParallelBenchParams) (*ParallelBench, error) {
+	return r.parallelBench("interval", bp)
+}
+
+// ParallelSnapshot measures FR snapshot wall time (the refinement fan-out)
+// against worker-pool size.
+func (r *Runner) ParallelSnapshot(bp ParallelBenchParams) (*ParallelBench, error) {
+	bp.Window = 0
+	return r.parallelBench("snapshot", bp)
+}
+
+func (r *Runner) parallelBench(kind string, bp ParallelBenchParams) (*ParallelBench, error) {
+	if bp.Trials <= 0 {
+		bp.Trials = 1
+	}
+	workers := bp.Workers
+	if len(workers) == 0 || workers[0] != 1 {
+		workers = append([]int{1}, workers...)
+	}
+	const varrho = 3
+	l := r.P.Ls[len(r.P.Ls)-1]
+	out := &ParallelBench{
+		Kind: kind, NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N: r.P.N, Seed: r.P.Seed, L: l, Varrho: varrho,
+		Window: bp.Window, Trials: bp.Trials,
+	}
+	for _, w := range workers {
+		cfg := ServerConfig(r.P)
+		cfg.Workers = w
+		env, err := Build(r.P, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rho := RelRho(env.S.NumObjects(), varrho, env.S.Config().Area)
+		q := core.Query{Rho: rho, L: l, At: env.S.Now()}
+		best := int64(0)
+		for t := 0; t < bp.Trials; t++ {
+			sw := stopwatch.Start()
+			if kind == "interval" {
+				_, err = env.S.Interval(q, q.At+motion.Tick(bp.Window), core.FR)
+			} else {
+				_, err = env.S.Snapshot(q, core.FR)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if ns := sw.Elapsed().Nanoseconds(); best == 0 || ns < best {
+				best = ns
+			}
+		}
+		out.Points = append(out.Points, ParallelPoint{Workers: w, WallNanos: best})
+	}
+	seq := out.Points[0].WallNanos
+	for i := range out.Points {
+		if out.Points[i].WallNanos > 0 {
+			out.Points[i].Speedup = float64(seq) / float64(out.Points[i].WallNanos)
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON records the baseline as indented JSON (the BENCH_*.json files
+// checked into the repository root).
+func (b *ParallelBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// PrintParallel renders a scaling run as a table.
+func PrintParallel(w io.Writer, b *ParallelBench) error {
+	r := newReport(w)
+	r.linef("%s scaling (n=%d, l=%g, varrho=%g, window=%d) on NumCPU=%d GOMAXPROCS=%d\n",
+		b.Kind, b.N, b.L, b.Varrho, b.Window, b.NumCPU, b.GOMAXPROCS)
+	r.text("workers\twall\tspeedup")
+	for _, p := range b.Points {
+		r.linef("%d\t%s\t%.2fx\n", p.Workers, fmtNanos(p.WallNanos), p.Speedup)
+	}
+	return r.flush()
+}
+
+func fmtNanos(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
+}

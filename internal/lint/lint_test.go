@@ -181,6 +181,56 @@ func (s *S) Escape() int {
 	return s.n // lint:ignore locked test fixture
 }
 `, 0},
+		// The engine's fan-out shape: take the read lock once, then spawn
+		// workers whose closures read guarded state. The analyzer must
+		// accept this (accesses inside the goroutine literals are textually
+		// after the RLock in the same body).
+		{"worker-pool fan-out under read lock allowed", `package x
+import "sync"
+type S struct {
+	mu    sync.RWMutex
+	items []int // guarded by mu
+}
+func (s *S) Sum() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	parts := make([]int, len(s.items))
+	var wg sync.WaitGroup
+	for i := range s.items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = s.items[i]
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+`, 0},
+		// The same fan-out with the lock forgotten: the guarded access
+		// inside the worker closure must still be flagged.
+		{"worker-pool fan-out without lock flagged", `package x
+import "sync"
+type S struct {
+	mu    sync.RWMutex
+	items []int // guarded by mu
+}
+func (s *S) Broken() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.items
+		}()
+	}
+	wg.Wait()
+}
+`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,8 +12,12 @@
 //	GET    /v1/stats      server and buffer-pool statistics
 //	GET    /healthz       liveness
 //
-// The engine is single-writer/single-reader; the service serializes access
-// with a mutex so the HTTP server's concurrent handlers stay safe.
+// The engine is single-writer/many-reader: query handlers share a read
+// lock and run concurrently (fanning work out to the engine's worker pool),
+// while load/update/watch handlers take the write lock. The service-level
+// RWMutex keeps parse-time clock reads coherent with query execution and
+// guards the monitor; the engine has its own internal lock for callers that
+// bypass the service.
 package service
 
 import (
@@ -37,11 +41,13 @@ import (
 
 // Service wraps a core.Server with an HTTP API.
 type Service struct {
-	mu sync.Mutex
-	// srv is the single-writer engine; guarded by mu (enforced by pdrvet's
-	// locked analyzer).
+	mu sync.RWMutex
+	// srv is the single-writer/many-reader engine; guarded by mu (enforced
+	// by pdrvet's locked analyzer): queries hold the read lock, ticks and
+	// loads the write lock.
 	srv *core.Server
-	// mon re-evaluates standing queries; guarded by mu.
+	// mon re-evaluates standing queries; guarded by mu (registration and
+	// advancement mutate it, so those handlers take the write lock).
 	mon *monitor.Monitor
 	mux *http.ServeMux
 	// reg and met are atomic-based telemetry; safe without mu.
@@ -277,8 +283,8 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	now := s.srv.Now()
 	horizon := s.srv.Horizon()
 
@@ -362,8 +368,8 @@ func (s *Service) handleContours(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	at, err := parseTick(qp.Get("at"), s.srv.Now(), s.srv.Horizon())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -400,8 +406,8 @@ type StatsResponse struct {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := s.srv.Pool().Stats()
 	writeJSON(w, StatsResponse{
 		Now:            s.srv.Now(),

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"pdr/internal/core"
 	"pdr/internal/motion"
 	"pdr/internal/wire"
 )
@@ -116,5 +118,59 @@ func TestRaceUpdatesQueryStats(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestRaceConcurrentIntervalQueries hammers the parallel interval path from
+// several HTTP clients at once: every handler holds the service read lock
+// simultaneously, and each interval query fans its per-timestamp snapshots
+// out to the engine's worker pool. All clients must get the same answer —
+// the engine is quiescent (no updates), so any divergence would mean the
+// parallel merge or the shared scratch reuse is racy.
+func TestRaceConcurrentIntervalQueries(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	cfg.Workers = 4
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	loadWorkload(t, ts, 800)
+
+	const clients = 6
+	answers := make([]QueryResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/query?method=fr&varrho=3&l=60&at=now&until=now%2B4")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("interval query status %d", resp.StatusCode)
+				return
+			}
+			errs[c] = json.NewDecoder(resp.Body).Decode(&answers[c])
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	for c := 1; c < clients; c++ {
+		if answers[c].Area != answers[0].Area || len(answers[c].Rects) != len(answers[0].Rects) {
+			t.Errorf("client %d answer diverged: area %g (%d rects) vs %g (%d rects)",
+				c, answers[c].Area, len(answers[c].Rects), answers[0].Area, len(answers[0].Rects))
+		}
 	}
 }

@@ -66,6 +66,24 @@ func metricValue(body, sample string) string {
 	return ""
 }
 
+// metricEventually re-scrapes until sample reads want or the deadline
+// passes, returning the last value seen. The HTTP middleware records a
+// request after the response body has already reached the client, so a
+// scrape issued immediately after a call can land in between; the request
+// instruments are eventually consistent with the client's view, never
+// synchronized to it.
+func metricEventually(t *testing.T, ts *httptest.Server, sample, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v := metricValue(fetchMetrics(t, ts), sample)
+		if v == want || time.Now().After(deadline) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestMetricsEndpoint is the acceptance path: /metrics serves Prometheus
 // text, and the per-method latency histograms and filter counters move
 // after a /v1/query call.
@@ -104,11 +122,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	if !moved {
 		t.Error("no filter-cell counter moved after an FR query")
 	}
-	// HTTP middleware saw the query route.
-	if v := metricValue(after, `pdr_http_requests_total{route="/v1/query",status="200"}`); v != "1" {
+	// HTTP middleware saw the query route (eventually: it records after the
+	// response is already on the wire).
+	if v := metricEventually(t, ts, `pdr_http_requests_total{route="/v1/query",status="200"}`, "1"); v != "1" {
 		t.Errorf("http request counter = %q, want 1", v)
 	}
-	if v := metricValue(after, `pdr_http_request_seconds_count{route="/v1/query"}`); v != "1" {
+	if v := metricEventually(t, ts, `pdr_http_request_seconds_count{route="/v1/query"}`, "1"); v != "1" {
 		t.Errorf("http latency observations = %q, want 1", v)
 	}
 	// Pool instruments are present (FR refinement touches the index).

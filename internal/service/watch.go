@@ -58,8 +58,8 @@ func (s *Service) handlePast(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad l %q", qp.Get("l"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	at, err := parsePastTick(qp.Get("at"), s.srv.Now())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)

@@ -12,6 +12,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdr/internal/telemetry"
@@ -93,17 +95,34 @@ func NewPoolMetrics(reg *telemetry.Registry) *PoolMetrics {
 // never evicts (an effectively infinite buffer); pages still incur one read
 // when first faulted after a Drop or when written back.
 //
-// Pool is not safe for concurrent use; the PDR server serializes access.
+// Pool is safe for concurrent use: the buffer structures are guarded by a
+// short-critical-section mutex (an LRU must reorder on every read, so reads
+// cannot be lock-free), while the I/O counters are atomics so Stats and the
+// telemetry mirror never take the lock. Concurrent readers therefore
+// serialize only for the few pointer moves of the LRU touch, not for each
+// other's page processing.
 type Pool struct {
-	capacity int // max resident pages; <=0 means unlimited
+	capacity int // max resident pages; <=0 means unlimited; immutable
 
-	disk   map[PageID]any // authoritative page payloads
-	lru    *list.List     // front = most recently used; values are PageID
-	index  map[PageID]*list.Element
-	dirty  map[PageID]bool
+	mu sync.Mutex
+	// disk holds the authoritative page payloads; guarded by mu.
+	disk map[PageID]any
+	// lru orders resident pages, front = most recently used, values are
+	// PageID; guarded by mu.
+	lru *list.List
+	// index maps resident pages to their lru element; guarded by mu.
+	index map[PageID]*list.Element
+	// dirty marks pages that must be written back on eviction; guarded by mu.
+	dirty map[PageID]bool
+	// nextID is the page allocation cursor; guarded by mu.
 	nextID PageID
-	stats  Stats
-	met    *PoolMetrics // nil unless SetMetrics was called
+
+	// I/O counters: atomic, lock-free for readers (see Stats).
+	reads, writes, hits atomic.Int64
+
+	// met mirrors counter increments into telemetry; atomic so attachment
+	// needs no lock.
+	met atomic.Pointer[PoolMetrics]
 }
 
 // NewPool creates a pool whose buffer holds at most capacityPages pages
@@ -122,9 +141,12 @@ func NewPool(capacityPages int) *Pool {
 // here on is mirrored into them. The page gauge is seeded with the current
 // allocation so late attachment stays accurate.
 func (p *Pool) SetMetrics(m *PoolMetrics) {
-	p.met = m
+	p.met.Store(m)
 	if m != nil {
-		m.pages.Set(float64(len(p.disk)))
+		p.mu.Lock()
+		pages := len(p.disk)
+		p.mu.Unlock()
+		m.pages.Set(float64(pages))
 	}
 }
 
@@ -139,13 +161,15 @@ func (p *Pool) Capacity() int {
 // Alloc reserves a fresh page ID with a nil payload. The new page is
 // considered resident and dirty (it must be written before eviction).
 func (p *Pool) Alloc() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.nextID++
 	id := p.nextID
 	p.disk[id] = nil
-	p.touch(id)
+	p.touchLocked(id)
 	p.dirty[id] = true
-	if p.met != nil {
-		p.met.pages.Add(1)
+	if m := p.met.Load(); m != nil {
+		m.pages.Add(1)
 	}
 	return id
 }
@@ -153,23 +177,25 @@ func (p *Pool) Alloc() PageID {
 // Read returns the payload of page id, counting a buffer hit or a physical
 // read. It reports an error for unknown pages.
 func (p *Pool) Read(id PageID) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	v, ok := p.disk[id]
 	if !ok {
 		return nil, fmt.Errorf("storage: read of unknown page %d", id)
 	}
 	if _, resident := p.index[id]; resident {
-		p.stats.Hits++
-		if p.met != nil {
-			p.met.hits.Inc()
+		p.hits.Add(1)
+		if m := p.met.Load(); m != nil {
+			m.hits.Inc()
 		}
-		p.touch(id)
+		p.touchLocked(id)
 		return v, nil
 	}
-	p.stats.Reads++
-	if p.met != nil {
-		p.met.reads.Inc()
+	p.reads.Add(1)
+	if m := p.met.Load(); m != nil {
+		m.reads.Inc()
 	}
-	p.touch(id)
+	p.touchLocked(id)
 	return v, nil
 }
 
@@ -177,24 +203,30 @@ func (p *Pool) Read(id PageID) (any, error) {
 // that is not resident faults it in (counted as a physical read would be
 // unfair — the writer produces the full page — so no read is charged).
 func (p *Pool) Write(id PageID, v any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.disk[id]; !ok {
 		return fmt.Errorf("storage: write to unknown page %d", id)
 	}
 	p.disk[id] = v
-	p.touch(id)
+	p.touchLocked(id)
 	p.dirty[id] = true
 	return nil
 }
 
 // Free releases page id entirely.
 func (p *Pool) Free(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.index[id]; ok {
 		p.lru.Remove(el)
 		delete(p.index, id)
 	}
 	delete(p.dirty, id)
-	if _, ok := p.disk[id]; ok && p.met != nil {
-		p.met.pages.Add(-1)
+	if _, ok := p.disk[id]; ok {
+		if m := p.met.Load(); m != nil {
+			m.pages.Add(-1)
+		}
 	}
 	delete(p.disk, id)
 }
@@ -202,11 +234,13 @@ func (p *Pool) Free(id PageID) {
 // Flush writes back all dirty resident pages, counting one physical write
 // per page.
 func (p *Pool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for id, d := range p.dirty {
 		if d {
-			p.stats.Writes++
-			if p.met != nil {
-				p.met.writes.Inc()
+			p.writes.Add(1)
+			if m := p.met.Load(); m != nil {
+				m.writes.Inc()
 			}
 			p.dirty[id] = false
 		}
@@ -216,6 +250,8 @@ func (p *Pool) Flush() {
 // Drop empties the buffer without counting writes (a cold restart); the next
 // Read of every page will miss.
 func (p *Pool) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.lru.Init()
 	p.index = make(map[PageID]*list.Element)
 	for id := range p.dirty {
@@ -223,20 +259,39 @@ func (p *Pool) Drop() {
 	}
 }
 
-// Stats returns a snapshot of the I/O counters.
-func (p *Pool) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the I/O counters. It is lock-free: the
+// counters are atomics, so a stats read (or a /metrics scrape) never stalls
+// queries. The three counters are loaded individually, so a snapshot taken
+// while queries run may be off by the odd in-flight increment — exact totals
+// belong to quiescent moments, which is how every experiment reads them.
+func (p *Pool) Stats() Stats {
+	return Stats{Reads: p.reads.Load(), Writes: p.writes.Load(), Hits: p.hits.Load()}
+}
 
 // ResetStats zeroes the I/O counters.
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.hits.Store(0)
+}
 
 // NumPages returns the number of allocated pages.
-func (p *Pool) NumPages() int { return len(p.disk) }
+func (p *Pool) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.disk)
+}
 
 // Resident returns the number of pages currently in the buffer.
-func (p *Pool) Resident() int { return p.lru.Len() }
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
 
-// touch marks id most-recently-used, evicting if over capacity.
-func (p *Pool) touch(id PageID) {
+// touchLocked marks id most-recently-used, evicting if over capacity. The
+// caller must hold mu.
+func (p *Pool) touchLocked(id PageID) {
 	if el, ok := p.index[id]; ok {
 		p.lru.MoveToFront(el)
 	} else {
@@ -255,9 +310,9 @@ func (p *Pool) touch(id PageID) {
 		p.lru.Remove(back)
 		delete(p.index, victim)
 		if p.dirty[victim] {
-			p.stats.Writes++
-			if p.met != nil {
-				p.met.writes.Inc()
+			p.writes.Add(1)
+			if m := p.met.Load(); m != nil {
+				m.writes.Inc()
 			}
 			p.dirty[victim] = false
 		}

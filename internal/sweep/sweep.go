@@ -16,19 +16,50 @@
 // iff p.x - l/2 < q.x <= p.x + l/2 (same in y), so the band at center x
 // contains q iff x is in [q.x - l/2, q.x + l/2): the object enters when the
 // band's right edge reaches it and leaves when the left edge reaches it.
+//
+// Allocation model: one candidate cell needs ~10 scratch slices (event
+// coordinates, enter/exit orderings, band membership) whose sizes depend
+// only on the retrieved point count. A query refines hundreds of cells and
+// the parallel engine refines cells from many queries at once, so the
+// scratch lives in a sync.Pool of per-worker sweeper structs: each
+// DenseRects call checks one out, grows its buffers as needed, and returns
+// it — steady-state refinement allocates only the output region.
 package sweep
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"pdr/internal/geom"
 )
 
+// sweeper holds the reusable scratch buffers of one plane-sweep worker. The
+// zero value is ready to use; buffers grow to the high-water mark of the
+// cells a worker has refined and are reused across calls.
+type sweeper struct {
+	// X-dimension band sweep (Algorithm 2).
+	enterX, exitX   []float64
+	events          []float64
+	byEnter, byExit []int
+	active          []bool
+	members         []geom.Point
+
+	// Y-dimension square sweep (Algorithm 3).
+	enterY, exitY     []float64
+	yEvents           []float64
+	yByEnter, yByExit []int
+	segs              []segment
+}
+
+// sweepers pools sweeper scratch across goroutines; see the package comment.
+var sweepers = sync.Pool{New: func() any { return new(sweeper) }}
+
 // DenseRects returns the union of all rho-dense rectangles whose points lie
 // inside the half-open window cell, given the locations (at query time) of
 // every object whose l-square influence can reach the cell — i.e. all
-// objects inside cell.Grow(l/2). The result is exact.
+// objects inside cell.Grow(l/2). The result is exact. DenseRects is safe
+// for concurrent use; concurrent calls draw scratch from a shared pool.
 func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region {
 	if cell.IsEmpty() || l <= 0 {
 		return nil
@@ -42,18 +73,23 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 	if len(points) < threshold {
 		return nil
 	}
+	sw := sweepers.Get().(*sweeper)
+	out := sw.denseRects(points, cell, threshold, l/2)
+	sweepers.Put(sw)
+	return out
+}
 
+func (sw *sweeper) denseRects(points []geom.Point, cell geom.Rect, threshold int, half float64) geom.Region {
 	n := len(points)
-	half := l / 2
-	enterX := make([]float64, n)
-	exitX := make([]float64, n)
+	sw.enterX = growF64(sw.enterX, n)
+	sw.exitX = growF64(sw.exitX, n)
+	enterX, exitX := sw.enterX, sw.exitX
 	for i, p := range points {
 		enterX[i] = p.X - half
 		exitX[i] = p.X + half
 	}
 	// Event coordinates: the window edges plus every enter/exit inside.
-	events := make([]float64, 0, 2*n+2)
-	events = append(events, cell.MinX, cell.MaxX)
+	events := append(growF64(sw.events, 2*n+2)[:0], cell.MinX, cell.MaxX)
 	for i := 0; i < n; i++ {
 		if enterX[i] > cell.MinX && enterX[i] < cell.MaxX {
 			events = append(events, enterX[i])
@@ -64,12 +100,18 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 	}
 	sort.Float64s(events)
 	events = dedup(events)
+	sw.events = events
 
 	// Enter/exit orderings for incremental band maintenance.
-	byEnter := sortedIndex(enterX)
-	byExit := sortedIndex(exitX)
+	sw.byEnter = sortedIndexInto(sw.byEnter, enterX)
+	sw.byExit = sortedIndexInto(sw.byExit, exitX)
+	byEnter, byExit := sw.byEnter, sw.byExit
 
-	active := make([]bool, n)
+	sw.active = growBool(sw.active, n)
+	active := sw.active
+	for i := range active[:n] {
+		active[i] = false
+	}
 	activeCount := 0
 	pa, pb := 0, 0
 	// Initialize the band at the window's left edge.
@@ -86,7 +128,7 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 	}
 
 	var out geom.Region
-	members := make([]geom.Point, 0, n)
+	members := sw.members[:0]
 	for ei := 0; ei+1 < len(events); ei++ {
 		x := events[ei]
 		if ei > 0 {
@@ -119,10 +161,11 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 				members = append(members, points[i])
 			}
 		}
-		for _, seg := range sweepY(members, cell.MinY, cell.MaxY, threshold, half) {
+		for _, seg := range sw.sweepY(members, cell.MinY, cell.MaxY, threshold, half) {
 			out.Add(geom.NewRect(x, seg.lo, events[ei+1], seg.hi))
 		}
 	}
+	sw.members = members
 	return geom.Coalesce(out)
 }
 
@@ -130,20 +173,21 @@ func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region
 type segment struct{ lo, hi float64 }
 
 // sweepY runs the Y-dimension l-square sweep (paper Algorithm 3) over the
-// band members, returning maximal dense segments within [yb, yt).
-func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) []segment {
+// band members, returning maximal dense segments within [yb, yt). The
+// returned slice is the sweeper's scratch — valid until the next sweepY.
+func (sw *sweeper) sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) []segment {
 	n := len(members)
 	if n < threshold {
 		return nil
 	}
-	enterY := make([]float64, n)
-	exitY := make([]float64, n)
+	sw.enterY = growF64(sw.enterY, n)
+	sw.exitY = growF64(sw.exitY, n)
+	enterY, exitY := sw.enterY, sw.exitY
 	for i, p := range members {
 		enterY[i] = p.Y - half
 		exitY[i] = p.Y + half
 	}
-	events := make([]float64, 0, 2*n+2)
-	events = append(events, yb, yt)
+	events := append(growF64(sw.yEvents, 2*n+2)[:0], yb, yt)
 	for i := 0; i < n; i++ {
 		if enterY[i] > yb && enterY[i] < yt {
 			events = append(events, enterY[i])
@@ -154,9 +198,11 @@ func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) [
 	}
 	sort.Float64s(events)
 	events = dedup(events)
+	sw.yEvents = events
 
-	byEnter := sortedIndex(enterY)
-	byExit := sortedIndex(exitY)
+	sw.yByEnter = sortedIndexInto(sw.yByEnter, enterY[:n])
+	sw.yByExit = sortedIndexInto(sw.yByExit, exitY[:n])
+	byEnter, byExit := sw.yByEnter, sw.yByExit
 	count := 0
 	pa, pb := 0, 0
 	for pa < n && enterY[byEnter[pa]] <= yb {
@@ -169,7 +215,7 @@ func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) [
 		pb++
 	}
 
-	var segs []segment
+	segs := sw.segs[:0]
 	for ei := 0; ei+1 < len(events); ei++ {
 		y := events[ei]
 		if ei > 0 {
@@ -196,6 +242,7 @@ func sweepY(members []geom.Point, yb, yt float64, threshold int, half float64) [
 			}
 		}
 	}
+	sw.segs = segs
 	return segs
 }
 
@@ -211,9 +258,30 @@ func dedup(s []float64) []float64 {
 	return out
 }
 
-// sortedIndex returns the indices of vals in ascending value order.
-func sortedIndex(vals []float64) []int {
-	idx := make([]int, len(vals))
+// growF64 returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growBool is growF64 for bool scratch.
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// sortedIndexInto fills idx (reusing its capacity) with the indices of vals
+// in ascending value order.
+func sortedIndexInto(idx []int, vals []float64) []int {
+	if cap(idx) < len(vals) {
+		idx = make([]int, len(vals))
+	}
+	idx = idx[:len(vals)]
 	for i := range idx {
 		idx[i] = i
 	}

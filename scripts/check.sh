@@ -36,6 +36,9 @@ go test ./...
 step "go test -race (service + monitor: the concurrent surfaces)"
 go test -race ./internal/service/... ./internal/monitor/...
 
+step "go test -race (engine read path + sweep scratch reuse)"
+go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage
+
 step "telemetry (race on the atomic registry + instrumented service)"
 go test -race ./internal/telemetry ./internal/service
 
