@@ -6,11 +6,13 @@
 //	pdrbench [-exp all] [-n 100000] [-queries 5] [-warm 20] [-seed 1] [-sizes 10000,50000,100000]
 //
 // Experiments: table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b,
-// fig10a, fig10b, interval, parallel, baselines, ablations, all. Absolute
-// numbers depend on the host; the paper's shapes (who wins, by what factor)
-// are the reproduction target. "parallel" is the worker-pool scaling study
-// (not part of "all"); with -benchjson DIR it records BENCH_interval.json
-// and BENCH_snapshot.json (see docs/PERFORMANCE.md).
+// fig10a, fig10b, interval, parallel, cache, baselines, ablations, all.
+// Absolute numbers depend on the host; the paper's shapes (who wins, by what
+// factor) are the reproduction target. "parallel" (worker-pool scaling) and
+// "cache" (result-cache cold/warm/sliding workloads) are host-dependent by
+// design and not part of "all"; with -benchjson DIR they record
+// BENCH_interval.json + BENCH_snapshot.json and BENCH_cache.json
+// respectively (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, baselines, ablations, all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, cache, baselines, ablations, all)")
 		n         = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
 		queries   = flag.Int("queries", 5, "queries per parameter point")
 		warm      = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
@@ -36,7 +38,8 @@ func main() {
 		format    = flag.String("format", "table", "output format for figure data: table or csv")
 		svgDir    = flag.String("svgdir", "", "when set, fig7 also renders SVG plots into this directory")
 		workers   = flag.String("workers", "1,2,4,8", "worker-pool sizes for -exp parallel")
-		benchJSON = flag.String("benchjson", "", "when set with -exp parallel, write BENCH_interval.json and BENCH_snapshot.json into this directory")
+		cacheB    = flag.Int64("cache-bytes", 64<<20, "result-cache budget for -exp cache")
+		benchJSON = flag.String("benchjson", "", "when set with -exp parallel or -exp cache, write the BENCH_*.json baselines into this directory")
 	)
 	flag.Parse()
 
@@ -59,7 +62,7 @@ func main() {
 	}
 
 	r := experiments.NewRunner(p)
-	if err := run(r, strings.ToLower(*exp), sizeList, workerList, *format == "csv", *svgDir, *benchJSON); err != nil {
+	if err := run(r, strings.ToLower(*exp), sizeList, workerList, *cacheB, *format == "csv", *svgDir, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrbench:", err)
 		os.Exit(1)
 	}
@@ -84,7 +87,7 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(r *experiments.Runner, exp string, sizes, workers []int, asCSV bool, svgDir, benchJSON string) error {
+func run(r *experiments.Runner, exp string, sizes, workers []int, cacheBytes int64, asCSV bool, svgDir, benchJSON string) error {
 	all := exp == "all"
 	section := func(name, paper string) {
 		fmt.Printf("\n=== %s — %s ===\n", name, paper)
@@ -256,6 +259,35 @@ func run(r *experiments.Runner, exp string, sizes, workers []int, asCSV bool, sv
 			}
 		}
 	}
+	// Like "parallel", the cache study is opt-in: it measures this host's
+	// cold/warm ratio, not a paper figure.
+	if exp == "cache" {
+		section("Cache (extension)", "result-cache cold vs warm vs sliding-window workloads")
+		bp := experiments.DefaultCacheBenchParams()
+		bp.CacheBytes = cacheBytes
+		cb, err := r.CacheBench(bp)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintCache(os.Stdout, cb); err != nil {
+			return err
+		}
+		if benchJSON != "" {
+			path := filepath.Join(benchJSON, "BENCH_cache.json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = cb.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
 	if all || exp == "baselines" {
 		section("Baselines", "prior-art methods (Figs 1-3 arguments) quantified vs exact PDR")
 		rows, err := r.BaselineComparison()
@@ -300,7 +332,7 @@ func run(r *experiments.Runner, exp string, sizes, workers []int, asCSV bool, sv
 	}
 	switch exp {
 	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
-		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "baselines", "ablations":
+		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "cache", "baselines", "ablations":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
-//	         [-workers 0] [-slow-query 250ms] [-debug-addr localhost:6060]
+//	         [-workers 0] [-cache-bytes 67108864] [-slow-query 250ms]
+//	         [-debug-addr localhost:6060]
 //
 // Example session:
 //
@@ -36,6 +37,7 @@ func main() {
 		l         = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
 		histM     = flag.Int("histm", 100, "density histogram resolution per axis")
 		workers   = flag.Int("workers", 0, "query worker-pool size: 0 = GOMAXPROCS, 1 = sequential")
+		cacheB    = flag.Int64("cache-bytes", 0, "result-cache budget in bytes: repeated/interval/monitor queries reuse per-timestamp answers until the next update (0 disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060)")
 	)
@@ -45,6 +47,7 @@ func main() {
 	cfg.L = *l
 	cfg.HistM = *histM
 	cfg.Workers = *workers
+	cfg.CacheBytes = *cacheB
 	cfg.KeepHistory = true // the /v1/past audit endpoint needs the archive
 	var opts []service.Option
 	if *slowQuery > 0 {

@@ -1,0 +1,354 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pdr/internal/geom"
+	"pdr/internal/telemetry"
+)
+
+// entryWithRects builds an entry whose budget charge is deterministic:
+// entryFixedBytes + rects*rectBytes.
+func entryWithRects(rects int) *Entry {
+	e := &Entry{CPU: time.Millisecond}
+	for i := 0; i < rects; i++ {
+		e.Region = append(e.Region, geom.NewRect(float64(i), 0, float64(i)+1, 1))
+	}
+	return e
+}
+
+func key(epoch uint64, at int64) Key {
+	return Key{Epoch: epoch, At: at, Rho: 0.5, L: 60, Method: 0}
+}
+
+// mustCompute asserts one Do resolves by evaluation.
+func mustCompute(t *testing.T, c *Cache, k Key, ent *Entry) {
+	t.Helper()
+	got, outcome, err := c.Do(k, func() (*Entry, error) { return ent, nil })
+	if err != nil || outcome != Computed || got != ent {
+		t.Fatalf("Do(%v) = (%p, %v, %v), want computed %p", k, got, outcome, err, ent)
+	}
+}
+
+// lookup resolves k with a compute that fails the test if it runs.
+func lookup(t *testing.T, c *Cache, k Key) (*Entry, Outcome) {
+	t.Helper()
+	ent, outcome, err := c.Do(k, func() (*Entry, error) {
+		return entryWithRects(1), nil
+	})
+	if err != nil {
+		t.Fatalf("Do(%v): %v", k, err)
+	}
+	return ent, outcome
+}
+
+func TestZeroBudgetDisablesCache(t *testing.T) {
+	if c := New(0); c != nil {
+		t.Fatalf("New(0) = %v, want nil", c)
+	}
+	if c := New(-5); c != nil {
+		t.Fatalf("New(-5) = %v, want nil", c)
+	}
+	var c *Cache
+	calls := 0
+	for i := 0; i < 3; i++ {
+		ent, outcome, err := c.Do(key(1, 0), func() (*Entry, error) {
+			calls++
+			return entryWithRects(1), nil
+		})
+		if err != nil || outcome != Computed || ent == nil {
+			t.Fatalf("nil cache Do = (%v, %v, %v)", ent, outcome, err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("nil cache memoized: %d computes for 3 lookups", calls)
+	}
+	if got := c.Stats(); got != (Stats{}) {
+		t.Errorf("nil cache stats = %+v, want zeros", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+	c.SetMetrics(nil) // must not panic
+}
+
+func TestHitReturnsEqualRegion(t *testing.T) {
+	c := New(1 << 20)
+	want := entryWithRects(3)
+	want.Accepted, want.Rejected, want.Candidates, want.ObjectsRetrieved = 1, 2, 3, 4
+	mustCompute(t, c, key(1, 0), want)
+	got, outcome := lookup(t, c, key(1, 0))
+	if outcome != Hit {
+		t.Fatalf("second lookup outcome = %v, want hit", outcome)
+	}
+	if len(got.Region) != len(want.Region) {
+		t.Fatalf("hit region has %d rects, want %d", len(got.Region), len(want.Region))
+	}
+	for i := range got.Region {
+		if got.Region[i] != want.Region[i] {
+			t.Errorf("rect %d differs: %v vs %v", i, got.Region[i], want.Region[i])
+		}
+	}
+	if got.Accepted != 1 || got.Rejected != 2 || got.Candidates != 3 || got.ObjectsRetrieved != 4 {
+		t.Errorf("hit counters = %+v, want the stored ones", got)
+	}
+	if got.CPU != want.CPU {
+		t.Errorf("hit CPU = %v, want the original evaluation cost %v", got.CPU, want.CPU)
+	}
+}
+
+// TestDeepImmutability: mutating any returned region must not corrupt the
+// resident entry — the cache stores and serves private copies.
+func TestDeepImmutability(t *testing.T) {
+	c := New(1 << 20)
+	orig := entryWithRects(2)
+	mustCompute(t, c, key(1, 0), orig)
+	// Corrupt the winner's own entry after the fact.
+	orig.Region[0] = geom.NewRect(-99, -99, -98, -98)
+
+	first, _ := lookup(t, c, key(1, 0))
+	first.Region[1] = geom.NewRect(-77, -77, -76, -76)
+
+	second, outcome := lookup(t, c, key(1, 0))
+	if outcome != Hit {
+		t.Fatalf("outcome = %v, want hit", outcome)
+	}
+	clean := entryWithRects(2)
+	for i := range second.Region {
+		if second.Region[i] != clean.Region[i] {
+			t.Errorf("resident entry corrupted at rect %d: %v", i, second.Region[i])
+		}
+	}
+}
+
+// TestLRUEvictionOrder pins the eviction policy on a single shard: the
+// least-recently-used key goes first, so entries of a superseded epoch age
+// out as soon as the budget needs the room.
+func TestLRUEvictionOrder(t *testing.T) {
+	per := entryWithRects(1).ApproxBytes()
+	c := newShards(2*per, 1) // room for exactly two entries
+	old1, old2 := key(1, 0), key(1, 1)
+	mustCompute(t, c, old1, entryWithRects(1))
+	mustCompute(t, c, old2, entryWithRects(1))
+
+	// Touch old1 so old2 is the LRU tail, then insert a new-epoch entry.
+	if _, outcome := lookup(t, c, old1); outcome != Hit {
+		t.Fatal("old1 should be resident")
+	}
+	mustCompute(t, c, key(2, 0), entryWithRects(1))
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after third insert = %+v, want 1 eviction, 2 entries", st)
+	}
+	if _, outcome := lookup(t, c, old2); outcome != Computed {
+		t.Errorf("old2 (the LRU tail) should have been evicted")
+	}
+	// old2's re-insert (epoch 1 key) just evicted the next tail: old1.
+	if _, outcome := lookup(t, c, key(2, 0)); outcome != Hit {
+		t.Errorf("the newest entry must survive the evictions")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	per := entryWithRects(4).ApproxBytes()
+	c := newShards(3*per, 1)
+	for i := int64(0); i < 3; i++ {
+		mustCompute(t, c, key(1, i), entryWithRects(4))
+	}
+	st := c.Stats()
+	if st.Bytes != 3*per || st.Entries != 3 {
+		t.Fatalf("resident = %d bytes / %d entries, want %d / 3", st.Bytes, st.Entries, 3*per)
+	}
+	// A fourth entry displaces exactly one.
+	mustCompute(t, c, key(1, 99), entryWithRects(4))
+	st = c.Stats()
+	if st.Bytes != 3*per || st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("after displacement: %+v", st)
+	}
+}
+
+func TestOversizeEntryNotCached(t *testing.T) {
+	c := newShards(entryFixedBytes+2*rectBytes, 1)
+	huge := entryWithRects(1000)
+	mustCompute(t, c, key(1, 0), huge)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize entry was cached: %+v", st)
+	}
+	if _, outcome := lookup(t, c, key(1, 0)); outcome != Computed {
+		t.Error("oversize entry must re-evaluate")
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	_, outcome, err := c.Do(key(1, 0), func() (*Entry, error) { return nil, boom })
+	if !errors.Is(err, boom) || outcome != Computed {
+		t.Fatalf("Do = (%v, %v), want the compute error", outcome, err)
+	}
+	if _, outcome := lookup(t, c, key(1, 0)); outcome != Computed {
+		t.Error("a failed evaluation must not leave a resident entry")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses", st)
+	}
+}
+
+// TestSingleflightCollapses pins the collapse deterministically: the winner
+// blocks inside compute until the losers are provably waiting on its
+// flight, so exactly one evaluation serves every concurrent caller.
+func TestSingleflightCollapses(t *testing.T) {
+	c := New(1 << 20)
+	const losers = 4
+	started := make(chan struct{})
+	release := make(chan struct{})
+	want := entryWithRects(2)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, outcome, err := c.Do(key(1, 0), func() (*Entry, error) {
+			close(started)
+			<-release
+			return want, nil
+		})
+		if err != nil || outcome != Computed {
+			t.Errorf("winner: (%v, %v)", outcome, err)
+		}
+	}()
+	<-started
+
+	outcomes := make(chan Outcome, losers)
+	for i := 0; i < losers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ent, outcome, err := c.Do(key(1, 0), func() (*Entry, error) {
+				t.Error("loser evaluated; singleflight failed to collapse")
+				return entryWithRects(2), nil
+			})
+			if err != nil || len(ent.Region) != len(want.Region) {
+				t.Errorf("loser: (%v, %v)", ent, err)
+			}
+			outcomes <- outcome
+		}()
+	}
+	// Release only once every loser is parked on the winner's flight.
+	for c.waiters() < losers {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	close(outcomes)
+
+	sharedN := 0
+	for o := range outcomes {
+		if o == Shared {
+			sharedN++
+		}
+	}
+	if sharedN != losers {
+		t.Errorf("%d of %d losers shared the flight", sharedN, losers)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != int64(losers) {
+		t.Errorf("stats = %+v, want 1 miss and %d shared", st, losers)
+	}
+}
+
+// TestSingleflightSharesErrors: waiters of a failed flight receive the
+// winner's error instead of silently recomputing under the flight.
+func TestSingleflightSharesErrors(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(key(1, 0), func() (*Entry, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("winner error = %v", err)
+		}
+	}()
+	<-started
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, outcome, err := c.Do(key(1, 0), func() (*Entry, error) {
+			t.Error("loser evaluated under an in-flight key")
+			return nil, nil
+		})
+		if !errors.Is(err, boom) || outcome != Shared {
+			t.Errorf("loser = (%v, %v), want the shared error", outcome, err)
+		}
+	}()
+	for c.waiters() < 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestConcurrentMixedKeys is the race-detector workload: many goroutines
+// hammer a small key space through hits, misses, shared flights, and
+// evictions at once.
+func TestConcurrentMixedKeys(t *testing.T) {
+	per := entryWithRects(2).ApproxBytes()
+	c := New(numShards * 2 * per) // tight: evictions guaranteed
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(uint64(i%5), int64((g+i)%7))
+				ent, _, err := c.Do(k, func() (*Entry, error) {
+					return entryWithRects(2), nil
+				})
+				if err != nil || len(ent.Region) != 2 {
+					t.Errorf("Do(%v): (%v, %v)", k, ent, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Shared != 8*200 {
+		t.Errorf("lookup accounting leaks: %+v", st)
+	}
+	if st.Bytes > numShards*2*per {
+		t.Errorf("resident bytes %d exceed the budget", st.Bytes)
+	}
+}
+
+func TestMetricsMirror(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(1 << 20)
+	c.SetMetrics(NewMetrics(reg))
+	mustCompute(t, c, key(1, 0), entryWithRects(1))
+	if _, outcome := lookup(t, c, key(1, 0)); outcome != Hit {
+		t.Fatal("expected a hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := st.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %g, want 0.5", r)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pdr/internal/cache"
 	"pdr/internal/dh"
 	"pdr/internal/geom"
 	"pdr/internal/motion"
@@ -62,8 +63,20 @@ type Query struct {
 type Result struct {
 	Method Method
 	Region geom.Region
-	// CPU is the measured computation time.
+	// CPU is the measured computation time — for interval queries the
+	// *summed* work across per-timestamp snapshots, which exceeds elapsed
+	// time when snapshots run on the worker pool.
 	CPU time.Duration
+	// Wall is the elapsed wall-clock time of the call: equal to CPU for a
+	// sequential snapshot, below the summed CPU for a parallel interval.
+	// Speedups read directly off this field.
+	Wall time.Duration
+	// Cached reports the answer was served from the result cache (for an
+	// interval: every per-timestamp snapshot was). CachedCPU accumulates the
+	// evaluation cost recorded when the reused entries were first computed —
+	// the work the cache saved. Cached answers charge zero IOs.
+	Cached    bool
+	CachedCPU time.Duration
 	// IOs is the number of physical page accesses the query incurred
 	// (only FR touches the index); IOTime charges them at the configured
 	// per-access cost; Total = CPU + IOTime, the paper's total query cost.
@@ -110,12 +123,15 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	return res, nil
 }
 
-// snapshotLocked evaluates one snapshot query under the (read) lock. With
-// trackIO it charges the query the pool's physical-I/O delta across its
-// evaluation — exact in isolation, approximate attribution when other
-// queries overlap (the pool counters are engine-global). Interval fan-outs
-// pass trackIO=false and charge I/O once at the interval level instead, so
-// concurrent sub-snapshots never double-count each other's page accesses.
+// snapshotLocked answers one snapshot query under the (read) lock, serving
+// from the result cache when one is configured. Between mutations the answer
+// for (rho, l, qt, method) is immutable, so it is memoized under the current
+// epoch: a hit returns the stored region and filter counters with zero IOs
+// (no page is touched) and CachedCPU recording the evaluation the cache
+// saved, while concurrent identical queries collapse onto one evaluation via
+// the cache's singleflight layer. Cached and computed answers are
+// bit-identical — the cache stores deep copies, so neither side can mutate
+// the other's region.
 func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error) {
 	if err := s.validateLocked(q); err != nil {
 		if s.met != nil {
@@ -123,6 +139,61 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 		}
 		return nil, err
 	}
+	if s.qcache == nil {
+		return s.evaluateLocked(q, m, trackIO)
+	}
+	k := cache.Key{Epoch: s.epoch, At: int64(q.At), Rho: q.Rho, L: q.L, Method: uint8(m)}
+	sw := stopwatch.Start()
+	var computed *Result // set only when this call wins the flight
+	ent, outcome, err := s.qcache.Do(k, func() (*cache.Entry, error) {
+		res, err := s.evaluateLocked(q, m, trackIO)
+		if err != nil {
+			return nil, err
+		}
+		computed = res
+		return &cache.Entry{
+			Region:           res.Region,
+			CPU:              res.CPU,
+			Accepted:         res.Accepted,
+			Rejected:         res.Rejected,
+			Candidates:       res.Candidates,
+			ObjectsRetrieved: res.ObjectsRetrieved,
+		}, nil
+	})
+	if err != nil {
+		// A shared error still failed this caller's query; evaluation
+		// errors are counted once per failed call, winner and waiters alike.
+		if outcome != cache.Computed && s.met != nil {
+			s.met.errors.Inc()
+		}
+		return nil, err
+	}
+	if outcome == cache.Computed {
+		return computed, nil
+	}
+	elapsed := sw.Elapsed()
+	return &Result{
+		Method:           m,
+		Region:           ent.Region,
+		CPU:              elapsed,
+		Wall:             elapsed,
+		Cached:           true,
+		CachedCPU:        ent.CPU,
+		Accepted:         ent.Accepted,
+		Rejected:         ent.Rejected,
+		Candidates:       ent.Candidates,
+		ObjectsRetrieved: ent.ObjectsRetrieved,
+		Phases:           []telemetry.PhaseSpan{{Name: "cache", Duration: elapsed}},
+	}, nil
+}
+
+// evaluateLocked runs one snapshot evaluation under the (read) lock. With
+// trackIO it charges the query the pool's physical-I/O delta across its
+// evaluation — exact in isolation, approximate attribution when other
+// queries overlap (the pool counters are engine-global). Interval fan-outs
+// pass trackIO=false and charge I/O once at the interval level instead, so
+// concurrent sub-snapshots never double-count each other's page accesses.
+func (s *Server) evaluateLocked(q Query, m Method, trackIO bool) (*Result, error) {
 	res := &Result{Method: m}
 	tr := telemetry.NewTrace()
 	var ioBefore storage.Stats
@@ -151,6 +222,7 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 	}
 	tr.End()
 	res.CPU = sw.Elapsed()
+	res.Wall = res.CPU // a snapshot evaluation is one sequential stopwatch
 	if trackIO {
 		res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
 		res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
@@ -298,6 +370,7 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
 	tr.End()
 	res.CPU = sw.Elapsed()
+	res.Wall = res.CPU
 	res.Phases = tr.Spans()
 	return res, nil
 }
@@ -336,11 +409,13 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 			return nil, err
 		}
 	}
-	out := &Result{Method: m}
+	out := &Result{Method: m, Cached: true}
 	var region geom.Region
 	for _, r := range subs {
 		region = append(region, r.Region...)
 		out.CPU += r.CPU
+		out.Cached = out.Cached && r.Cached
+		out.CachedCPU += r.CachedCPU
 		out.Accepted += r.Accepted
 		out.Rejected += r.Rejected
 		out.Candidates += r.Candidates
@@ -353,8 +428,9 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 	// union keeps the answer free of redundant rectangles, exactly like the
 	// per-snapshot answers.
 	out.Region = geom.Coalesce(region)
+	out.Wall = sw.Elapsed()
 	if s.met != nil {
-		s.met.observeInterval(int64(n), sw.Elapsed())
+		s.met.observeInterval(int64(n), out.Wall)
 	}
 	return out, nil
 }

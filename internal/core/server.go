@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pdr/internal/bxtree"
+	"pdr/internal/cache"
 	"pdr/internal/dh"
 	"pdr/internal/geom"
 	"pdr/internal/gridindex"
@@ -105,6 +106,13 @@ type Config struct {
 	// sequentially. Answers are identical at every setting (see
 	// docs/PERFORMANCE.md for the determinism argument).
 	Workers int
+	// CacheBytes bounds the epoch-versioned snapshot result cache
+	// (approximate resident bytes). 0 (the default) disables caching and
+	// keeps the pre-cache behavior; when set, repeated snapshot queries,
+	// interval fan-outs, and monitor re-evaluations reuse per-timestamp
+	// answers until the next mutation supersedes them (see
+	// docs/PERFORMANCE.md, "Result cache").
+	CacheBytes int64
 }
 
 // DefaultConfig returns the paper's default experimental setup (Table 1,
@@ -134,18 +142,23 @@ func DefaultConfig() Config {
 // readers never contend on engine state. Methods named *Locked assume the
 // caller holds mu (the pdrvet locked analyzer enforces the discipline).
 type Server struct {
-	cfg   Config
-	hist  *dh.Histogram
-	surf  *pa.Surface
-	pool  *storage.Pool
-	index Index
-	hst   *history.Store // nil unless cfg.KeepHistory
-	met   *Metrics       // nil unless SetMetrics was called (pre-traffic)
-	par   *parallel.Pool // bounded fan-out workers (cfg.Workers)
+	cfg    Config
+	hist   *dh.Histogram
+	surf   *pa.Surface
+	pool   *storage.Pool
+	index  Index
+	hst    *history.Store // nil unless cfg.KeepHistory
+	met    *Metrics       // nil unless SetMetrics was called (pre-traffic)
+	par    *parallel.Pool // bounded fan-out workers (cfg.Workers)
+	qcache *cache.Cache   // snapshot result cache; nil when CacheBytes is 0
 
 	mu sync.RWMutex
 	// now is the server clock; guarded by mu.
 	now motion.Tick
+	// epoch counts mutations (Tick/Apply/Load); guarded by mu. Cached
+	// snapshot answers are keyed by it, so bumping the epoch invalidates
+	// every prior answer in O(1) without touching the cache itself.
+	epoch uint64
 	// live maps object IDs to their current movement; guarded by mu.
 	live map[motion.ObjectID]motion.State
 }
@@ -220,14 +233,15 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	return &Server{
-		cfg:   cfg,
-		hist:  hist,
-		surf:  surf,
-		pool:  pool,
-		index: index,
-		live:  make(map[motion.ObjectID]motion.State),
-		hst:   hst,
-		par:   parallel.New(cfg.Workers),
+		cfg:    cfg,
+		hist:   hist,
+		surf:   surf,
+		pool:   pool,
+		index:  index,
+		live:   make(map[motion.ObjectID]motion.State),
+		hst:    hst,
+		par:    parallel.New(cfg.Workers),
+		qcache: cache.New(cfg.CacheBytes),
 	}, nil
 }
 
@@ -279,6 +293,7 @@ type bulkLoader interface {
 func (s *Server) Load(states []motion.State) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	bl, bulk := s.index.(bulkLoader)
 	if !bulk || s.index.Len() > 0 {
 		for _, st := range states {
@@ -303,6 +318,10 @@ func (s *Server) Load(states []motion.State) error {
 func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Bump before touching anything: even a partially applied tick mutates
+	// the summaries, and over-invalidating the cache is harmless while a
+	// missed invalidation would serve stale answers.
+	s.epoch++
 	if now < s.now {
 		return fmt.Errorf("core: time moved backwards: %d < %d", now, s.now)
 	}
@@ -322,6 +341,7 @@ func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
 func (s *Server) Apply(u motion.Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	return s.applyLocked(u)
 }
 
@@ -371,3 +391,18 @@ func (s *Server) applyDeleteLocked(st motion.State, at motion.Tick) error {
 
 // History exposes the archive (nil unless Config.KeepHistory).
 func (s *Server) History() *history.Store { return s.hst }
+
+// Epoch returns the mutation counter cached answers are keyed by. It
+// increments on every Tick, Apply, and Load.
+func (s *Server) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Cache exposes the snapshot result cache (nil when Config.CacheBytes is 0),
+// so embedders can attach telemetry via cache.NewMetrics.
+func (s *Server) Cache() *cache.Cache { return s.qcache }
+
+// CacheStats returns the result cache counters (zeros when caching is off).
+func (s *Server) CacheStats() cache.Stats { return s.qcache.Stats() }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+
+	"pdr/internal/core"
+	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+)
+
+// CachePoint is one measured cache workload.
+type CachePoint struct {
+	// Name identifies the workload: snapshot-cold, snapshot-warm,
+	// interval-cold, interval-slide (window slid by one tick over a primed
+	// cache), or interval-warm (fully cached repeat).
+	Name string `json:"name"`
+	// WallNanos is the best-of-Trials wall-clock time for one query.
+	WallNanos int64 `json:"wallNanos"`
+	// IOs is the physical page-access charge of the measured query; warm
+	// hits must charge zero.
+	IOs int64 `json:"ios"`
+	// Hits and Misses are the cache-counter deltas across the measured
+	// query (from the last trial).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Speedup is the matching cold point's wall time divided by this one's
+	// (1.0 for the cold points themselves).
+	Speedup float64 `json:"speedup"`
+}
+
+// CacheBench is one recorded result-cache baseline: cold, warm, and
+// sliding-window workloads on the same server. Host facts ride along — the
+// absolute numbers are host-dependent, the cold/warm ratio is the claim.
+type CacheBench struct {
+	NumCPU     int `json:"numCPU"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workload facts.
+	N      int     `json:"n"`
+	Seed   int64   `json:"seed"`
+	L      float64 `json:"l"`
+	Varrho float64 `json:"varrho"`
+	// Window is the interval width in ticks.
+	Window int `json:"window"`
+	// CacheBytes is the configured cache budget.
+	CacheBytes int64 `json:"cacheBytes"`
+	// Trials is how many times each point ran; WallNanos keeps the best.
+	Trials int          `json:"trials"`
+	Points []CachePoint `json:"points"`
+}
+
+// CacheBenchParams configures a cache run.
+type CacheBenchParams struct {
+	// Window is the interval query width in ticks.
+	Window int
+	// Trials per point; the best wall time is kept to damp scheduler noise.
+	Trials int
+	// CacheBytes is the cache budget under test.
+	CacheBytes int64
+}
+
+// DefaultCacheBenchParams matches the recorded BENCH_cache.json baseline.
+func DefaultCacheBenchParams() CacheBenchParams {
+	return CacheBenchParams{Window: 8, Trials: 3, CacheBytes: 64 << 20}
+}
+
+// CacheBench measures the result cache: cold FR snapshots and intervals
+// against their warm (fully cached) and sliding-window counterparts on one
+// server. Cold trials invalidate via an empty Load — an epoch bump with no
+// state change — so every cold measurement re-evaluates while the engine
+// state stays identical across trials.
+func (r *Runner) CacheBench(bp CacheBenchParams) (*CacheBench, error) {
+	if bp.Trials <= 0 {
+		bp.Trials = 1
+	}
+	if bp.Window <= 0 {
+		bp.Window = 8
+	}
+	if bp.CacheBytes <= 0 {
+		bp.CacheBytes = 64 << 20
+	}
+	const varrho = 3
+	l := r.P.Ls[len(r.P.Ls)-1]
+	cfg := ServerConfig(r.P)
+	cfg.CacheBytes = bp.CacheBytes
+	env, err := Build(r.P, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := env.S
+	rho := RelRho(s.NumObjects(), varrho, s.Config().Area)
+	q := core.Query{Rho: rho, L: l, At: s.Now()}
+	out := &CacheBench{
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N: r.P.N, Seed: r.P.Seed, L: l, Varrho: varrho,
+		Window: bp.Window, CacheBytes: bp.CacheBytes, Trials: bp.Trials,
+	}
+
+	// measure runs one trial of a workload: setup primes or invalidates,
+	// query is the measured call.
+	measure := func(name string, setup func() error, query func() (*core.Result, error)) error {
+		var best CachePoint
+		for t := 0; t < bp.Trials; t++ {
+			if setup != nil {
+				if err := setup(); err != nil {
+					return err
+				}
+			}
+			before := s.CacheStats()
+			sw := stopwatch.Start()
+			res, err := query()
+			ns := sw.Elapsed().Nanoseconds()
+			if err != nil {
+				return err
+			}
+			after := s.CacheStats()
+			if t == 0 || ns < best.WallNanos {
+				best = CachePoint{
+					Name: name, WallNanos: ns, IOs: res.IOs,
+					Hits:   after.Hits + after.Shared - before.Hits - before.Shared,
+					Misses: after.Misses - before.Misses,
+				}
+			}
+		}
+		out.Points = append(out.Points, best)
+		return nil
+	}
+	invalidate := func() error { return s.Load(nil) }
+	snapshot := func() (*core.Result, error) { return s.Snapshot(q, core.FR) }
+	interval := func(at motion.Tick) func() (*core.Result, error) {
+		return func() (*core.Result, error) {
+			sub := q
+			sub.At = at
+			return s.Interval(sub, at+motion.Tick(bp.Window), core.FR)
+		}
+	}
+
+	if err := measure("snapshot-cold", invalidate, snapshot); err != nil {
+		return nil, err
+	}
+	// Warm: the cold point's last trial left the key resident.
+	if err := measure("snapshot-warm", nil, snapshot); err != nil {
+		return nil, err
+	}
+	if err := measure("interval-cold", invalidate, interval(q.At)); err != nil {
+		return nil, err
+	}
+	// Slide: prime [at, at+w], measure [at+1, at+w+1] — one new timestamp.
+	prime := func() error {
+		if err := invalidate(); err != nil {
+			return err
+		}
+		_, err := interval(q.At)()
+		return err
+	}
+	if err := measure("interval-slide", prime, interval(q.At+1)); err != nil {
+		return nil, err
+	}
+	// Warm: the slide left [at+1, at+w+1] fully resident.
+	if err := measure("interval-warm", nil, interval(q.At+1)); err != nil {
+		return nil, err
+	}
+
+	cold := map[string]int64{}
+	for _, p := range out.Points {
+		if p.Name == "snapshot-cold" || p.Name == "interval-cold" {
+			cold[p.Name] = p.WallNanos
+		}
+	}
+	for i := range out.Points {
+		base := cold["interval-cold"]
+		if out.Points[i].Name == "snapshot-cold" || out.Points[i].Name == "snapshot-warm" {
+			base = cold["snapshot-cold"]
+		}
+		if out.Points[i].WallNanos > 0 {
+			out.Points[i].Speedup = float64(base) / float64(out.Points[i].WallNanos)
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON records the baseline as indented JSON (the BENCH_cache.json
+// file checked into the repository root).
+func (b *CacheBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// PrintCache renders a cache run as a table.
+func PrintCache(w io.Writer, b *CacheBench) error {
+	r := newReport(w)
+	r.linef("result cache (n=%d, l=%g, varrho=%g, window=%d, budget=%dMB) on NumCPU=%d GOMAXPROCS=%d\n",
+		b.N, b.L, b.Varrho, b.Window, b.CacheBytes>>20, b.NumCPU, b.GOMAXPROCS)
+	r.text("workload\twall\tios\thits\tmisses\tspeedup")
+	for _, p := range b.Points {
+		r.linef("%s\t%s\t%d\t%d\t%d\t%.1fx\n",
+			p.Name, fmtNanos(p.WallNanos), p.IOs, p.Hits, p.Misses, p.Speedup)
+	}
+	return r.flush()
+}

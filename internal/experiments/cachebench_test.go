@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCacheBenchSmoke(t *testing.T) {
+	r := testRunner()
+	bp := CacheBenchParams{Window: 3, Trials: 1, CacheBytes: 16 << 20}
+	b, err := r.CacheBench(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"snapshot-cold", "snapshot-warm", "interval-cold", "interval-slide", "interval-warm"}
+	if len(b.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(b.Points), len(want))
+	}
+	byName := map[string]CachePoint{}
+	for i, p := range b.Points {
+		if p.Name != want[i] {
+			t.Errorf("point %d = %q, want %q", i, p.Name, want[i])
+		}
+		if p.WallNanos <= 0 {
+			t.Errorf("%s: wall %d, want > 0", p.Name, p.WallNanos)
+		}
+		byName[p.Name] = p
+	}
+	// The warm paths must be fully served from cache: zero IOs, zero misses.
+	for _, name := range []string{"snapshot-warm", "interval-warm"} {
+		p := byName[name]
+		if p.IOs != 0 || p.Misses != 0 {
+			t.Errorf("%s: ios=%d misses=%d, want both 0", name, p.IOs, p.Misses)
+		}
+		if p.Hits == 0 {
+			t.Errorf("%s: no cache hits recorded", name)
+		}
+	}
+	// The slid window recomputes exactly the one new timestamp.
+	if p := byName["interval-slide"]; p.Misses != 1 || p.Hits != int64(bp.Window) {
+		t.Errorf("interval-slide: hits=%d misses=%d, want %d/1", p.Hits, p.Misses, bp.Window)
+	}
+	// Cold points evaluate everything.
+	if p := byName["interval-cold"]; p.Misses != int64(bp.Window)+1 {
+		t.Errorf("interval-cold: misses=%d, want %d", p.Misses, bp.Window+1)
+	}
+	if b.NumCPU <= 0 || b.GOMAXPROCS <= 0 {
+		t.Error("host facts missing from the record")
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round CacheBench
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("recorded JSON does not round-trip: %v", err)
+	}
+	if len(round.Points) != len(b.Points) {
+		t.Errorf("round-trip lost points: %d vs %d", len(round.Points), len(b.Points))
+	}
+
+	var tbl bytes.Buffer
+	if err := PrintCache(&tbl, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range want {
+		if !strings.Contains(tbl.String(), name) {
+			t.Errorf("table missing workload %q", name)
+		}
+	}
+}

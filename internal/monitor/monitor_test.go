@@ -202,3 +202,63 @@ func TestMultipleSubscriptions(t *testing.T) {
 		t.Errorf("forecast target %d, want %d", events[1].Target, events[1].At+10)
 	}
 }
+
+// TestSubscriptionsRideResultCache: when the server has a result cache,
+// identical standing queries share one evaluation per tick — the second
+// subscription's re-evaluation is a cache hit, and the next tick's epoch
+// bump forces exactly one fresh evaluation again.
+func TestSubscriptionsRideResultCache(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	cfg.CacheBytes = 16 << 20
+	s, err := core.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(block(0, 100, 500, 500, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m := New(s)
+	rho := 50.0 / (60 * 60)
+	cq := ContinuousQuery{Rho: rho, L: 60, Method: core.FR}
+	if _, err := m.Register(cq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(cq); err != nil {
+		t.Fatal(err)
+	}
+	for tick := motion.Tick(1); tick <= 3; tick++ {
+		events, err := m.Advance(tick, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("tick %d: %d events, want 2", tick, len(events))
+		}
+		if !regionsSame(events[0].Region, events[1].Region) {
+			t.Errorf("tick %d: identical subscriptions answered differently", tick)
+		}
+		st := s.CacheStats()
+		// Advance ticks (epoch bump) then evaluates both subs: one miss,
+		// one reuse, every tick.
+		if st.Misses != int64(tick) {
+			t.Errorf("tick %d: %d evaluations, want %d (one per tick)", tick, st.Misses, tick)
+		}
+		if reused := st.Hits + st.Shared; reused != int64(tick) {
+			t.Errorf("tick %d: %d reuses, want %d", tick, reused, tick)
+		}
+	}
+}
+
+func regionsSame(a, b geom.Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"pdr/internal/cache"
 	"pdr/internal/core"
 	"pdr/internal/monitor"
 	"pdr/internal/motion"
@@ -90,6 +91,9 @@ func New(cfg core.Config, opts ...Option) (*Service, error) {
 	s.met = core.NewMetrics(s.reg)
 	srv.SetMetrics(s.met)
 	srv.Pool().SetMetrics(storage.NewPoolMetrics(s.reg))
+	if qc := srv.Cache(); qc != nil {
+		qc.SetMetrics(cache.NewMetrics(s.reg))
+	}
 	s.mon.SetMetrics(monitor.NewMetrics(s.reg))
 	if s.slow != nil {
 		s.slow.count = s.reg.Counter("pdr_http_slow_queries_total",
@@ -251,8 +255,14 @@ type QueryResponse struct {
 	Area        float64       `json:"area"`
 	Rings       [][]PointJSON `json:"rings,omitempty"`
 	CPUMicros   int64         `json:"cpuMicros"`
+	WallMicros  int64         `json:"wallMicros"`
 	IOs         int64         `json:"ios"`
 	TotalMicros int64         `json:"totalMicros"`
+	// Cached reports the answer came from the result cache (for an interval,
+	// every per-timestamp snapshot did); CachedCPUMicros is the evaluation
+	// cost the cache saved.
+	Cached          bool  `json:"cached,omitempty"`
+	CachedCPUMicros int64 `json:"cachedCpuMicros,omitempty"`
 }
 
 // PointJSON is one outline vertex.
@@ -326,11 +336,14 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out := QueryResponse{
 		Method: res.Method.String(), At: q.At, Until: until,
 		Rho: rho, L: l,
-		Rects:       make([]RectJSON, len(res.Region)),
-		Area:        res.Region.Area(),
-		CPUMicros:   res.CPU.Microseconds(),
-		IOs:         res.IOs,
-		TotalMicros: res.Total().Microseconds(),
+		Rects:           make([]RectJSON, len(res.Region)),
+		Area:            res.Region.Area(),
+		CPUMicros:       res.CPU.Microseconds(),
+		WallMicros:      res.Wall.Microseconds(),
+		IOs:             res.IOs,
+		TotalMicros:     res.Total().Microseconds(),
+		Cached:          res.Cached,
+		CachedCPUMicros: res.CachedCPU.Microseconds(),
 	}
 	for i, rect := range res.Region {
 		out.Rects[i] = RectJSON{rect.MinX, rect.MinY, rect.MaxX, rect.MaxY}
@@ -403,25 +416,42 @@ type StatsResponse struct {
 	Subscriptions  int              `json:"subscriptions"`
 	QueriesServed  map[string]int64 `json:"queriesServed"`
 	UptimeHorizon  motion.Tick      `json:"horizon"`
+	// Result-cache counters (all zero when Config.CacheBytes is 0); the
+	// same instruments /metrics exposes as pdr_cache_*.
+	CacheHits          int64   `json:"cacheHits"`
+	CacheMisses        int64   `json:"cacheMisses"`
+	CacheEvictions     int64   `json:"cacheEvictions"`
+	SingleflightShared int64   `json:"singleflightShared"`
+	CacheBytes         int64   `json:"cacheBytes"`
+	CacheEntries       int64   `json:"cacheEntries"`
+	CacheHitRatio      float64 `json:"cacheHitRatio"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := s.srv.Pool().Stats()
+	cst := s.srv.CacheStats()
 	writeJSON(w, StatsResponse{
-		Now:            s.srv.Now(),
-		Objects:        s.srv.NumObjects(),
-		HistogramBytes: s.srv.Histogram().MemoryBytes(),
-		SurfaceBytes:   s.srv.Surface().MemoryBytes(),
-		IndexPages:     s.srv.Pool().NumPages(),
-		PoolReads:      st.Reads,
-		PoolWrites:     st.Writes,
-		PoolHits:       st.Hits,
-		PoolHitRatio:   st.HitRatio(),
-		Subscriptions:  s.mon.NumSubscriptions(),
-		QueriesServed:  s.met.QueriesServed(),
-		UptimeHorizon:  s.srv.Horizon(),
+		Now:                s.srv.Now(),
+		Objects:            s.srv.NumObjects(),
+		HistogramBytes:     s.srv.Histogram().MemoryBytes(),
+		SurfaceBytes:       s.srv.Surface().MemoryBytes(),
+		IndexPages:         s.srv.Pool().NumPages(),
+		PoolReads:          st.Reads,
+		PoolWrites:         st.Writes,
+		PoolHits:           st.Hits,
+		PoolHitRatio:       st.HitRatio(),
+		Subscriptions:      s.mon.NumSubscriptions(),
+		QueriesServed:      s.met.QueriesServed(),
+		UptimeHorizon:      s.srv.Horizon(),
+		CacheHits:          cst.Hits,
+		CacheMisses:        cst.Misses,
+		CacheEvictions:     cst.Evictions,
+		SingleflightShared: cst.Shared,
+		CacheBytes:         cst.Bytes,
+		CacheEntries:       cst.Entries,
+		CacheHitRatio:      cst.HitRatio(),
 	})
 }
 

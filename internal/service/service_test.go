@@ -9,7 +9,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"pdr/internal/cache"
 	"pdr/internal/core"
 	"pdr/internal/datagen"
 	"pdr/internal/motion"
@@ -540,4 +542,172 @@ func TestPastEndpoint(t *testing.T) {
 			t.Errorf("at=%s status %d, want 400", at, r5.StatusCode)
 		}
 	}
+}
+
+// cachedTestService is testService with the result cache enabled.
+func cachedTestService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	cfg.CacheBytes = 16 << 20
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// TestQueryCacheOverHTTP drives the full loop: the second identical query
+// is served from the cache (cached=true, zero IOs, identical answer), the
+// stats endpoint reports the counters, and /metrics exposes the same
+// instruments under pdr_cache_*.
+func TestQueryCacheOverHTTP(t *testing.T) {
+	svc, ts := cachedTestService(t)
+	loadWorkload(t, ts, 1500)
+
+	url := ts.URL + "/v1/query?method=fr&varrho=3&l=60&at=now%2B5"
+	fetch := func() QueryResponse {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+	cold := fetch()
+	if cold.Cached {
+		t.Error("first query claims cached")
+	}
+	warm := fetch()
+	if !warm.Cached {
+		t.Error("second identical query not served from cache")
+	}
+	if warm.IOs != 0 {
+		t.Errorf("cached query charged %d IOs", warm.IOs)
+	}
+	if len(warm.Rects) != len(cold.Rects) || warm.Area != cold.Area {
+		t.Errorf("cached answer differs: %d rects area %g vs %d rects area %g",
+			len(warm.Rects), warm.Area, len(cold.Rects), cold.Area)
+	}
+	if cold.WallMicros == 0 {
+		t.Error("wallMicros missing from the query response")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CacheMisses < 1 || sr.CacheHits < 1 {
+		t.Errorf("stats cache counters = hits %d misses %d, want both >= 1", sr.CacheHits, sr.CacheMisses)
+	}
+	if sr.CacheHitRatio <= 0 {
+		t.Errorf("cacheHitRatio = %g, want > 0", sr.CacheHitRatio)
+	}
+	if sr.CacheBytes <= 0 || sr.CacheEntries <= 0 {
+		t.Errorf("cache residency = %d bytes / %d entries, want > 0", sr.CacheBytes, sr.CacheEntries)
+	}
+
+	// /metrics exposes the same instruments, by the stats' values.
+	body := getMetricsBody(t, ts)
+	cst := svc.Engine().CacheStats()
+	for metric, want := range map[string]int64{
+		"pdr_cache_hits_total":                cst.Hits,
+		"pdr_cache_misses_total":              cst.Misses,
+		"pdr_cache_singleflight_shared_total": cst.Shared,
+		"pdr_cache_entries":                   cst.Entries,
+	} {
+		if !strings.Contains(body, fmt.Sprintf("%s %d", metric, want)) {
+			t.Errorf("/metrics missing %q with value %d", metric, want)
+		}
+	}
+}
+
+// TestSingleflightSharedMetric pins the shared-flight counter's journey to
+// /metrics. A real query's flight can settle before any concurrent
+// duplicate registers on a small host (the engine-level concurrency stress
+// is core's TestCacheSingleflightStress), so this test constructs the
+// shared flight deterministically against the service's wired cache: the
+// winner blocks in compute until every loser is observably waiting.
+func TestSingleflightSharedMetric(t *testing.T) {
+	svc, ts := cachedTestService(t)
+	qc := svc.Engine().Cache()
+
+	const losers = 3
+	k := cache.Key{Epoch: 999, At: 42, Rho: 0.5, L: 60}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, outcome, err := qc.Do(k, func() (*cache.Entry, error) {
+			close(entered)
+			<-release
+			return &cache.Entry{CPU: time.Millisecond}, nil
+		})
+		if err != nil || outcome != cache.Computed {
+			t.Errorf("winner: outcome %v, err %v", outcome, err)
+		}
+	}()
+	<-entered
+	for i := 0; i < losers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, outcome, err := qc.Do(k, func() (*cache.Entry, error) {
+				return nil, fmt.Errorf("loser must not evaluate")
+			})
+			if err != nil || outcome != cache.Shared {
+				t.Errorf("loser: outcome %v, err %v", outcome, err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for qc.Stats().Waiting < losers {
+		if time.Now().After(deadline) {
+			t.Fatal("losers never blocked on the winner's flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	cst := svc.Engine().CacheStats()
+	if cst.Shared != losers {
+		t.Fatalf("shared = %d, want %d", cst.Shared, losers)
+	}
+	body := getMetricsBody(t, ts)
+	if !strings.Contains(body, fmt.Sprintf("pdr_cache_singleflight_shared_total %d", cst.Shared)) {
+		t.Errorf("/metrics does not report %d shared flights", cst.Shared)
+	}
+}
+
+func getMetricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }

@@ -80,6 +80,8 @@ type queryDetail struct {
 	until  *motion.Tick
 	ios    int64
 	cpu    time.Duration
+	wall   time.Duration
+	cached bool
 	phases []telemetry.PhaseSpan
 }
 
@@ -97,6 +99,8 @@ func annotateQuery(r *http.Request, q core.Query, until *motion.Tick, method str
 	d.until = until
 	d.ios = res.IOs
 	d.cpu = res.CPU
+	d.wall = res.Wall
+	d.cached = res.Cached
 	d.phases = res.Phases
 }
 
@@ -121,14 +125,16 @@ type slowQueryLine struct {
 }
 
 type slowQueryDetail struct {
-	Method    string          `json:"method"`
-	Rho       float64         `json:"rho"`
-	L         float64         `json:"l"`
-	At        motion.Tick     `json:"at"`
-	Until     *motion.Tick    `json:"until,omitempty"`
-	IOs       int64           `json:"ios"`
-	CPUMicros int64           `json:"cpuMicros"`
-	Phases    []phaseSpanJSON `json:"phases,omitempty"`
+	Method     string          `json:"method"`
+	Rho        float64         `json:"rho"`
+	L          float64         `json:"l"`
+	At         motion.Tick     `json:"at"`
+	Until      *motion.Tick    `json:"until,omitempty"`
+	IOs        int64           `json:"ios"`
+	CPUMicros  int64           `json:"cpuMicros"`
+	WallMicros int64           `json:"wallMicros"`
+	Cached     bool            `json:"cached,omitempty"`
+	Phases     []phaseSpanJSON `json:"phases,omitempty"`
 }
 
 type phaseSpanJSON struct {
@@ -153,6 +159,7 @@ func (l *slowQueryLog) maybeLog(route string, r *http.Request, status int, elaps
 		q := &slowQueryDetail{
 			Method: d.method, Rho: d.rho, L: d.l, At: d.at, Until: d.until,
 			IOs: d.ios, CPUMicros: d.cpu.Microseconds(),
+			WallMicros: d.wall.Microseconds(), Cached: d.cached,
 		}
 		for _, p := range d.phases {
 			q.Phases = append(q.Phases, phaseSpanJSON{Phase: p.Name, Micros: p.Duration.Microseconds()})

@@ -1,0 +1,91 @@
+#!/bin/sh
+# benchdiff.sh — informational drift check for the checked-in BENCH_*.json
+# baselines: reruns a small version of each recorded benchmark on this host
+# and prints fresh-vs-baseline wall-time ratios per point.
+#
+# Usage: scripts/benchdiff.sh      (from the module root)
+#
+#   BENCHDIFF_N=4000       object count for the fresh run (smaller = faster)
+#   BENCHDIFF_WARM=5       warm-up ticks for the fresh run
+#   BENCHDIFF_WORKERS=1,2  pool sizes for the parallel benches
+#   BENCHDIFF_SKIP=1       skip entirely (prints a notice)
+#
+# The ratios are NOT pass/fail: baselines are host-dependent by design (the
+# JSON records NumCPU/GOMAXPROCS), and the fresh run is deliberately smaller
+# than the recorded one. The useful signal is relative shape — a warm cache
+# point drifting from ~100x to ~1x, or a parallel speedup collapsing to
+# flat, says a regression landed even though every test still passes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${BENCHDIFF_SKIP:-0}" = "1" ]; then
+	echo "benchdiff: skipped (BENCHDIFF_SKIP=1)"
+	exit 0
+fi
+
+N="${BENCHDIFF_N:-4000}"
+WARM="${BENCHDIFF_WARM:-5}"
+WORKERS="${BENCHDIFF_WORKERS:-1,2}"
+
+have_baseline=0
+for f in BENCH_interval.json BENCH_snapshot.json BENCH_cache.json; do
+	[ -f "$f" ] && have_baseline=1
+done
+if [ "$have_baseline" = "0" ]; then
+	echo "benchdiff: no BENCH_*.json baselines checked in; nothing to compare"
+	exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "benchdiff: fresh run with n=$N warm=$WARM workers=$WORKERS (baselines may use larger n; compare shapes, not absolutes)"
+if [ -f BENCH_interval.json ] || [ -f BENCH_snapshot.json ]; then
+	go run ./cmd/pdrbench -exp parallel -n "$N" -warm "$WARM" -workers "$WORKERS" -benchjson "$tmp" >/dev/null
+fi
+if [ -f BENCH_cache.json ]; then
+	go run ./cmd/pdrbench -exp cache -n "$N" -warm "$WARM" -benchjson "$tmp" >/dev/null
+fi
+
+# points FILE KEYFIELD — emit "key wallNanos" per point from the indented
+# JSON the benches write (stable machine output; no jq dependency).
+points() {
+	awk -v kf="\"$2\":" '
+		$1 == kf { v = $2; gsub(/[",]/, "", v); k = v }
+		$1 == "\"wallNanos\":" { v = $2; gsub(/,/, "", v); print k, v }
+	' "$1"
+}
+
+diff_file() { # diff_file FILE KEYFIELD
+	f="$1"
+	kf="$2"
+	[ -f "$f" ] || return 0
+	if [ ! -f "$tmp/$f" ]; then
+		echo "$f: fresh run produced no output; skipping"
+		return 0
+	fi
+	points "$f" "$kf" >"$tmp/base.txt"
+	points "$tmp/$f" "$kf" >"$tmp/fresh.txt"
+	echo ""
+	echo "$f ($kf / baseline-wall / fresh-wall / fresh:baseline)"
+	while read -r key base; do
+		fresh=$(awk -v k="$key" '$1 == k { print $2; exit }' "$tmp/fresh.txt")
+		if [ -z "$fresh" ]; then
+			echo "  $key ${base}ns (no fresh point)"
+			continue
+		fi
+		# %.0f, not %d: wall times over ~2.1s overflow mawk's 32-bit %d.
+		awk -v k="$key" -v b="$base" -v f="$fresh" 'BEGIN {
+			printf "  %-16s %12.0fns %12.0fns %8.2fx\n", k, b, f, f / b
+		}'
+	done <"$tmp/base.txt"
+}
+
+diff_file BENCH_interval.json workers
+diff_file BENCH_snapshot.json workers
+diff_file BENCH_cache.json name
+echo ""
+echo "benchdiff: informational only; regenerate baselines with:"
+echo "  go run ./cmd/pdrbench -exp parallel -benchjson ."
+echo "  go run ./cmd/pdrbench -exp cache -benchjson ."

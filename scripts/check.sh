@@ -36,8 +36,8 @@ go test ./...
 step "go test -race (service + monitor: the concurrent surfaces)"
 go test -race ./internal/service/... ./internal/monitor/...
 
-step "go test -race (engine read path + sweep scratch reuse)"
-go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage
+step "go test -race (engine read path + sweep scratch reuse + result cache)"
+go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage ./internal/cache
 
 step "telemetry (race on the atomic registry + instrumented service)"
 go test -race ./internal/telemetry ./internal/service
@@ -50,6 +50,10 @@ go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime 5s ./internal/swee
 
 step "pdrvet (project-specific static analysis)"
 go run ./cmd/pdrvet ./...
+
+step "benchdiff (informational: checked-in baselines vs this host)"
+# Never gates the build: bench numbers are host-dependent by design.
+scripts/benchdiff.sh || true
 
 echo ""
 echo "all checks passed"
