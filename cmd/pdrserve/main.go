@@ -72,6 +72,9 @@ func main() {
 	if *debugAddr != "" {
 		// pprof lives on its own mux and listener so profiling endpoints are
 		// never reachable through the public API address.
+		//
+		// lint:ignore noleak process-lifetime daemon: the debug listener
+		// serves until the process exits and log.Fatal ends it on error.
 		go func() {
 			mux := http.NewServeMux()
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	pdrvet [-only floateq,locked] [-list] [patterns]
+//	pdrvet [-only floateq,locked] [-json] [-list] [patterns]
 //
 // Patterns are module-relative ("./...", "./internal/geom", or full import
 // paths like "pdr/internal/service"); with none, or with "./...", the whole
-// module is analyzed. Exits 1 when findings remain after lint:ignore
-// suppression, 2 on load/usage errors.
+// module is analyzed. -json switches the diagnostic stream to one JSON
+// object per line for machine consumption. Exits 1 when findings remain
+// after lint:ignore suppression, 2 on load/usage errors. Load errors are
+// tolerant: a package that fails to parse or type-check is reported on
+// stderr, the remaining packages are still analyzed and their findings
+// printed, and the exit status is 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,57 +27,86 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, stdio, exit status) made
+// testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdrvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only = flag.String("only", "", "comma-separated analyzer subset to run")
-		list = flag.Bool("list", false, "list analyzers and exit")
-		root = flag.String("root", ".", "module root (directory containing go.mod)")
+		only     = fs.String("only", "", "comma-separated analyzer subset to run")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		asJSON   = fs.Bool("json", false, "emit diagnostics as one JSON object per line")
+		rootFlag = fs.String("root", ".", "module root (directory containing go.mod)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		var err error
 		analyzers, err = lint.ByName(strings.Split(*only, ","))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "pdrvet:", err)
+			return 2
 		}
 	}
 
-	mod, err := lint.LoadModule(*root)
+	mod, err := lint.LoadModule(*rootFlag)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "pdrvet:", err)
+		return 2
 	}
-	pkgs, err := load(mod, flag.Args())
-	if err != nil {
-		fatal(err)
+	pkgs, loadErrs := load(mod, fs.Args())
+	for _, e := range loadErrs {
+		fmt.Fprintln(stderr, "pdrvet:", e)
+	}
+	if len(pkgs) == 0 && len(loadErrs) > 0 {
+		return 2
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "pdrvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "pdrvet: %d finding(s)\n", n)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "pdrvet: %d finding(s)\n", n)
+		if len(loadErrs) > 0 {
+			return 2
+		}
+		return 1
 	}
+	if len(loadErrs) > 0 {
+		return 2
+	}
+	return 0
 }
 
 // load resolves command-line patterns to packages. "./..." (or no
 // patterns) loads the whole module; "dir/..." loads the subtree; other
 // patterns load a single package by module-relative path or import path.
-func load(mod *lint.Module, patterns []string) ([]*lint.Package, error) {
-	all, err := mod.LoadAll()
-	if err != nil {
-		return nil, err
-	}
+// Packages that fail to load surface as errors without suppressing the
+// rest.
+func load(mod *lint.Module, patterns []string) ([]*lint.Package, []error) {
+	all, errs := mod.LoadAll()
 	if len(patterns) == 0 {
-		return all, nil
+		return all, errs
 	}
 	var out []*lint.Package
 	seen := make(map[string]bool)
@@ -88,10 +122,10 @@ func load(mod *lint.Module, patterns []string) ([]*lint.Package, error) {
 			}
 		}
 		if !matched {
-			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+			errs = append(errs, fmt.Errorf("pattern %q matched no packages", pat))
 		}
 	}
-	return out, nil
+	return out, errs
 }
 
 func matchPattern(mod *lint.Module, pat, pkgPath string) bool {
@@ -111,9 +145,4 @@ func matchPattern(mod *lint.Module, pat, pkgPath string) bool {
 		return pkgPath == rest || strings.HasPrefix(pkgPath, rest+"/")
 	}
 	return pkgPath == pat
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdrvet:", err)
-	os.Exit(2)
 }

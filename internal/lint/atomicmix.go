@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pdr/internal/lint/cfg"
+)
+
+// AnalyzerAtomicMix enforces single-discipline access to atomic state, the
+// cache/telemetry/storage stats idiom: once a struct field is updated
+// through sync/atomic, every other access must be atomic too (or hold the
+// owning struct's mu) — a plain load can observe a torn or stale value and
+// a plain store can lose a concurrent atomic increment.
+//
+// Two field families are tracked per package:
+//
+//   - plain-typed fields (int64, uint32, ...) that some call site passes by
+//     address to a sync/atomic function: a non-atomic read elsewhere needs
+//     at least the owner's read lock on every path (write lock for writes),
+//     and if the owner has no mu at all the mix is unconditionally flagged;
+//   - fields of the atomic.Int64 family (named types from sync/atomic):
+//     these must only be touched through their methods — copying one reads
+//     its guts non-atomically (and go vet's copylocks misses several
+//     shapes); taking the address to call a method is fine.
+//
+// Constructor-owned values (s := &T{...}) are exempt like in locked, and so
+// are *Locked methods (their caller holds mu by convention).
+var AnalyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain access to fields that are elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+// atomicFieldSets is the per-package inventory phase-1 collects.
+type atomicFieldSets struct {
+	// plain[T][f]: field f of struct T is passed to sync/atomic functions.
+	plain map[string]map[string]bool
+	// typed[T][f] = atomic type name: field f of struct T has an
+	// atomic.Int64-family type.
+	typed map[string]map[string]string
+	// hasMu[T]: struct T owns a mu mutex field.
+	hasMu map[string]bool
+}
+
+func runAtomicMix(p *Pass) {
+	sets := collectAtomicFields(p)
+	if len(sets.plain) == 0 && len(sets.typed) == 0 {
+		return
+	}
+	tracked := make(map[string]map[string]bool)
+	for t, fs := range sets.plain {
+		for f := range fs {
+			if tracked[t] == nil {
+				tracked[t] = make(map[string]bool)
+			}
+			tracked[t][f] = true
+		}
+	}
+	for t, fs := range sets.typed {
+		for f := range fs {
+			if tracked[t] == nil {
+				tracked[t] = make(map[string]bool)
+			}
+			tracked[t][f] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkAtomicBody(p, sets, tracked, funcContext(fd), fd.Body, lockState{})
+		}
+	}
+}
+
+// collectAtomicFields walks the package once for the two field families.
+func collectAtomicFields(p *Pass) atomicFieldSets {
+	sets := atomicFieldSets{
+		plain: make(map[string]map[string]bool),
+		typed: make(map[string]map[string]string),
+		hasMu: make(map[string]bool),
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					ft := p.TypeOf(field.Type)
+					for _, name := range field.Names {
+						if name.Name == "mu" && isMutex(ft) {
+							sets.hasMu[n.Name.Name] = true
+						}
+						if an, ok := atomicTypeName(ft); ok {
+							if sets.typed[n.Name.Name] == nil {
+								sets.typed[n.Name.Name] = make(map[string]string)
+							}
+							sets.typed[n.Name.Name][name.Name] = an
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !isAtomicPkgCall(p, n) {
+					return true
+				}
+				for _, a := range n.Args {
+					if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						a = u.X
+					}
+					sel, ok := a.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					owner, field, ok := fieldOwner(p, sel)
+					if !ok {
+						continue
+					}
+					if sets.plain[owner] == nil {
+						sets.plain[owner] = make(map[string]bool)
+					}
+					sets.plain[owner][field] = true
+				}
+			}
+			return true
+		})
+	}
+	return sets
+}
+
+// isAtomicPkgCall reports whether call invokes a sync/atomic package-level
+// function (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicPkgCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pn := p.PkgNameOf(sel.X)
+	return pn != nil && pn.Imported().Path() == "sync/atomic"
+}
+
+// atomicTypeName reports whether t is a named type from sync/atomic
+// (Int64, Uint32, Bool, Value, Pointer[T], ...).
+func atomicTypeName(t types.Type) (string, bool) {
+	named, ok := types.Unalias(derefType(t)).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// fieldOwner resolves sel to (struct type name, field name) for field
+// selections on structs declared in this package.
+func fieldOwner(p *Pass, sel *ast.SelectorExpr) (string, string, bool) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	named, ok := types.Unalias(derefType(s.Recv())).(*types.Named)
+	if !ok || named.Obj().Pkg() != p.Pkg {
+		return "", "", false
+	}
+	return named.Obj().Name(), sel.Sel.Name, true
+}
+
+// checkAtomicBody runs the lock-state dataflow over one body and reports
+// plain accesses to tracked fields. Function literals inherit the lock
+// state of their occurrence point, like in locked.
+func checkAtomicBody(p *Pass, sets atomicFieldSets, tracked map[string]map[string]bool, ctx string, body *ast.BlockStmt, entry lockState) {
+	owned := ownedIdents(p, tracked, body)
+	g := cfg.New(body)
+	res := lockFlow(p, g, entry)
+	step := func(n ast.Node, in lockState) lockState { return stepLockState(p, n, in) }
+	res.WalkReached(step, func(n ast.Node, before lockState) {
+		checkNodeAtomicAccesses(p, sets, tracked, owned, ctx, n, before)
+		for _, fl := range topFuncLits(n) {
+			checkAtomicBody(p, sets, tracked, ctx+".func", fl.Body, before.clone())
+		}
+	})
+}
+
+func checkNodeAtomicAccesses(p *Pass, sets atomicFieldSets, tracked map[string]map[string]bool, owned map[string]bool, ctx string, n ast.Node, before lockState) {
+	uses := atomicUses(p, n)
+	writes := writeSelectors(n)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		owner, field, ok := fieldOwner(p, sel)
+		if !ok || !tracked[owner][field] || uses[ast.Expr(sel)] {
+			return true
+		}
+		base := exprKey(sel.X)
+		if base == "" || owned[rootIdent(sel.X)] {
+			return true
+		}
+		access := base + "." + field
+		if an, ok := sets.typed[owner][field]; ok {
+			p.Reportf(sel.Pos(), "%s accesses %s (atomic.%s) plainly; use its Load/Store/Add methods", ctx, access, an)
+			return false
+		}
+		level := before[base+".mu"]
+		switch {
+		case !sets.hasMu[owner]:
+			p.Reportf(sel.Pos(), "%s accesses %s plainly but the field is updated via sync/atomic elsewhere and %s has no mu; use atomic ops for every access", ctx, access, owner)
+			return false
+		case writes[ast.Expr(sel)] && level < 2:
+			p.Reportf(sel.Pos(), "%s writes %s plainly without holding %s.mu.Lock(); the field is updated via sync/atomic elsewhere — use atomic ops or take the write lock", ctx, access, base)
+			return false
+		case !writes[ast.Expr(sel)] && level < 1:
+			p.Reportf(sel.Pos(), "%s reads %s plainly without holding %s.mu; the field is updated via sync/atomic elsewhere — use atomic ops or take the lock", ctx, access, base)
+			return false
+		}
+		return true
+	})
+}
+
+// atomicUses marks the selector occurrences inside n that ARE legitimate
+// atomic accesses: &x.f arguments of sync/atomic calls, method-call
+// receivers (x.f.Load()), and address-taking of typed atomics (to pass the
+// pointer to a helper that uses the methods).
+func atomicUses(p *Pass, n ast.Node) map[ast.Expr]bool {
+	uses := make(map[ast.Expr]bool)
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if !isAtomicPkgCall(p, x) {
+				return true
+			}
+			for _, a := range x.Args {
+				if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					a = u.X
+				}
+				if s, ok := a.(*ast.SelectorExpr); ok {
+					uses[s] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if s, ok := p.Info.Selections[x]; ok && s.Kind() == types.MethodVal {
+				if inner, ok := x.X.(*ast.SelectorExpr); ok {
+					uses[inner] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return true
+			}
+			if s, ok := x.X.(*ast.SelectorExpr); ok {
+				if _, ok := atomicTypeName(p.TypeOf(s)); ok {
+					uses[s] = true
+				}
+			}
+		}
+		return true
+	})
+	return uses
+}

@@ -1,0 +1,141 @@
+package lint
+
+import "testing"
+
+func TestAtomicMix(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		// The core mix: one site updates atomically, another reads plainly
+		// with no lock anywhere — nothing can make the plain read safe.
+		{"plain read of atomically-updated field flagged", `package x
+import "sync/atomic"
+type stats struct {
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Get() int64 { return s.hits }
+`, 1},
+		{"all-atomic access clean", `package x
+import "sync/atomic"
+type stats struct {
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Get() int64 { return atomic.LoadInt64(&s.hits) }
+`, 0},
+		// Mixed mode is tolerated under the owner's lock (write lock for
+		// writes): the telemetry snapshot idiom.
+		{"plain read under lock clean", `package x
+import (
+	"sync"
+	"sync/atomic"
+)
+type stats struct {
+	mu   sync.Mutex
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Get() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+`, 0},
+		{"plain write under RLock flagged", `package x
+import (
+	"sync"
+	"sync/atomic"
+)
+type stats struct {
+	mu   sync.RWMutex
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Reset() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits = 0
+}
+`, 1},
+		{"plain write under write lock clean", `package x
+import (
+	"sync"
+	"sync/atomic"
+)
+type stats struct {
+	mu   sync.RWMutex
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits = 0
+}
+`, 0},
+		// The typed-atomic family: methods are the only safe access.
+		{"typed atomic via methods clean", `package x
+import "sync/atomic"
+type stats struct {
+	hits atomic.Int64
+}
+func (s *stats) Hit() { s.hits.Add(1) }
+func (s *stats) Get() int64 { return s.hits.Load() }
+`, 0},
+		{"typed atomic copied plainly flagged", `package x
+import "sync/atomic"
+type stats struct {
+	hits atomic.Int64
+}
+func (s *stats) Get() atomic.Int64 { return s.hits }
+`, 1},
+		{"typed atomic address for method use clean", `package x
+import "sync/atomic"
+type stats struct {
+	hits atomic.Int64
+}
+func bump(c *atomic.Int64) { c.Add(1) }
+func (s *stats) Hit() { bump(&s.hits) }
+`, 0},
+		// Constructors own the value until it escapes.
+		{"owned constructor clean", `package x
+import "sync/atomic"
+type stats struct {
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func New(seed int64) *stats {
+	s := &stats{}
+	s.hits = seed
+	return s
+}
+`, 0},
+		{"untracked field untouched", `package x
+import "sync/atomic"
+type stats struct {
+	hits int64
+	name string
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Name() string { return s.name }
+`, 0},
+		{"ignore suppresses", `package x
+import "sync/atomic"
+type stats struct {
+	hits int64
+}
+func (s *stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) Get() int64 {
+	return s.hits // lint:ignore atomicmix test fixture
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, "pdr/internal/x", tc.src, AnalyzerAtomicMix), "atomicmix", tc.want)
+		})
+	}
+}

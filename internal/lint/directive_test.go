@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The staleness check lives in applyIgnores; these tests pin when a
+// suppression that matched nothing is reported and when it must stay quiet.
+func TestStaleIgnoreReportedUnderFullSuite(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func f(a, b int) bool {
+	return a == b // lint:ignore floateq ints are exact, nothing to suppress
+}
+`, All()...)
+	wantFindings(t, diags, "directive", 1)
+	if !strings.Contains(diags[0].Message, "stale lint:ignore") {
+		t.Errorf("message = %q, want stale-ignore wording", diags[0].Message)
+	}
+}
+
+func TestStaleIgnoreDeletedWhenFindingReturns(t *testing.T) {
+	// Same directive, but now it actually suppresses a finding: no stale
+	// report, no floateq report.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func f(a, b float64) bool {
+	return a == b // lint:ignore floateq fixture
+}
+`, All()...)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestStaleIgnoreSilentWhenAnalyzerNotRun(t *testing.T) {
+	// The directive names wallclock, but only floateq ran: whether it is
+	// stale is undecidable, so it must not be reported.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func f(a, b int) bool {
+	return a == b // lint:ignore wallclock partial-run fixture
+}
+`, AnalyzerFloatEq)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestStaleAllIgnoreNeedsFullSuite(t *testing.T) {
+	src := `package x
+
+func f(a, b int) bool {
+	return a == b // lint:ignore all blanket fixture
+}
+`
+	// Partial run: "all" is undecidable.
+	wantFindings(t, analyze(t, "pdr/internal/x", src, AnalyzerFloatEq), "", 0)
+	// Full suite: the blanket directive suppressed nothing and is stale.
+	wantFindings(t, analyze(t, "pdr/internal/x", src, All()...), "directive", 1)
+}
+
+func TestIgnoreNamingDirectiveNeverStale(t *testing.T) {
+	// A directive that names "directive" exists to silence the staleness
+	// check itself; reporting it would be self-defeating.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// lint:ignore directive kept intentionally for doc examples
+var V = 1
+`, All()...)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestDirectiveAnalyzerRegistered(t *testing.T) {
+	// -list must advertise the directive analyzer even though its findings
+	// are synthesized by applyIgnores rather than a Run pass.
+	for _, n := range Names() {
+		if n == "directive" {
+			return
+		}
+	}
+	t.Fatal(`"directive" missing from the analyzer inventory`)
+}

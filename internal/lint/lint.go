@@ -100,6 +100,10 @@ func All() []*Analyzer {
 		AnalyzerErrCheckLite,
 		AnalyzerPanicPrefix,
 		AnalyzerMetricName,
+		AnalyzerDeferUnlock,
+		AnalyzerAtomicMix,
+		AnalyzerNoLeak,
+		AnalyzerDirective,
 	}
 }
 
@@ -113,11 +117,21 @@ func ByName(names []string) ([]*Analyzer, error) {
 	for _, n := range names {
 		a, ok := index[strings.TrimSpace(n)]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+			return nil, fmt.Errorf("lint: unknown analyzer %q; available: %s", n, strings.Join(Names(), ", "))
 		}
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// Names lists the full analyzer inventory in registration order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // Run applies the analyzers to every package and returns the surviving
@@ -138,7 +152,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
-		diags = append(diags, applyIgnores(pkg, pkgDiags)...)
+		diags = append(diags, applyIgnores(pkg, analyzers, pkgDiags)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -162,6 +176,7 @@ type ignoreDirective struct {
 	file      string
 	line      int // line the directive appears on
 	target    int // first line after the directive's comment group
+	pos       token.Pos
 }
 
 // matches reports whether the directive covers analyzer a at file:l. A
@@ -177,9 +192,12 @@ func (d ignoreDirective) matches(a, file string, l int) bool {
 
 const ignorePrefix = "lint:ignore"
 
-// applyIgnores drops diagnostics covered by a well-formed ignore directive
-// and adds a finding for every malformed one (missing reason).
-func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+// applyIgnores drops diagnostics covered by a well-formed ignore directive,
+// adds a finding for every malformed one (missing reason), and — when every
+// analyzer a directive names was part of this run — reports directives that
+// suppressed nothing as stale (analyzer "directive"), so dead ignores
+// cannot outlive the finding they excused.
+func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
 	var directives []ignoreDirective
 	var malformed []Diagnostic
 	for _, f := range pkg.Files {
@@ -204,6 +222,7 @@ func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
 					file:   pkg.Fset.Position(c.Pos()).Filename,
 					line:   line,
 					target: pkg.Fset.Position(cg.End()).Line + 1,
+					pos:    c.Pos(),
 				}
 				if fields[0] != "all" {
 					d.analyzers = make(map[string]bool)
@@ -216,17 +235,55 @@ func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	out := malformed
+	used := make([]bool, len(directives))
 	for _, diag := range diags {
 		suppressed := false
-		for _, d := range directives {
+		for i, d := range directives {
 			if d.matches(diag.Analyzer, diag.Pos.Filename, diag.Pos.Line) {
 				suppressed = true
-				break
+				used[i] = true
 			}
 		}
 		if !suppressed {
 			out = append(out, diag)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	for i, d := range directives {
+		if used[i] || !staleDecidable(d, ran, fullSuite) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "directive",
+			Pos:      pkg.Fset.Position(d.pos),
+			Message:  "stale lint:ignore: no finding from the named analyzers on this line; delete the directive",
+		})
+	}
 	return out
+}
+
+// staleDecidable reports whether an unmatched directive can be called stale
+// in this run: every analyzer it names must have run (a directive for "all"
+// needs the full suite), and directives naming "directive" itself are never
+// reported — they exist to silence this very check.
+func staleDecidable(d ignoreDirective, ran map[string]bool, fullSuite bool) bool {
+	if d.analyzers == nil {
+		return fullSuite
+	}
+	for name := range d.analyzers {
+		if name == "directive" || !ran[name] {
+			return false
+		}
+	}
+	return true
 }

@@ -77,10 +77,14 @@ func LoadModule(root string) (*Module, error) {
 }
 
 // LoadAll walks the module tree and loads every directory that contains
-// non-test Go files, returning the packages sorted by import path.
-func (m *Module) LoadAll() ([]*Package, error) {
+// non-test Go files, returning the packages sorted by import path. Loading
+// is tolerant: a package that fails to parse or type-check contributes an
+// error instead of aborting the walk, so one broken package cannot hide
+// the diagnostics of every healthy one. The returned packages are the ones
+// that loaded; errs holds one error per package that did not.
+func (m *Module) LoadAll() (pkgs []*Package, errs []error) {
 	var paths []string
-	err := filepath.WalkDir(m.Root, func(p string, d os.DirEntry, err error) error {
+	walkErr := filepath.WalkDir(m.Root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -107,19 +111,20 @@ func (m *Module) LoadAll() ([]*Package, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if walkErr != nil {
+		return nil, []error{walkErr}
 	}
 	sort.Strings(paths)
-	pkgs := make([]*Package, 0, len(paths))
+	pkgs = make([]*Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := m.Load(p)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return pkgs, errs
 }
 
 func hasGoFiles(dir string) (bool, error) {

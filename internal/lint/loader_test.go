@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// LoadAll must keep going past a package that cannot be parsed or
+// type-checked: the healthy packages come back alongside one error per
+// casualty, so a single broken file cannot blank out the module's
+// diagnostics.
+func TestLoadAllToleratesBrokenPackages(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":         "module tmpmod\n\ngo 1.22\n",
+		"syntax/bad.go":  "package syntax\n\nfunc oops( {\n",
+		"typeerr/bad.go": "package typeerr\n\nfunc f() int { return \"not an int\" }\n",
+		"healthy/ok.go":  "package healthy\n\nfunc Cmp(a, b float64) bool { return a == b }\n",
+		"healthy2/ok.go": "package healthy2\n\nfunc Id(x int) int { return x }\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, errs := m.LoadAll()
+	if len(errs) != 2 {
+		t.Fatalf("got %d load errors, want 2 (syntax + type): %v", len(errs), errs)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	got := strings.Join(paths, " ")
+	if !strings.Contains(got, "tmpmod/healthy") || !strings.Contains(got, "tmpmod/healthy2") {
+		t.Fatalf("healthy packages missing from result: %v", paths)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "syntax") || strings.Contains(p, "typeerr") {
+			t.Fatalf("broken package %s returned as loaded", p)
+		}
+	}
+
+	// The survivors are analyzable: the floateq bug in healthy/ surfaces.
+	diags := Run(pkgs, []*Analyzer{AnalyzerFloatEq})
+	if len(diags) != 1 || diags[0].Analyzer != "floateq" {
+		t.Fatalf("diagnostics from healthy packages = %v, want one floateq finding", diags)
+	}
+}
+
+func TestLoadAllErrorsNamePackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":        "module tmpmod\n\ngo 1.22\n",
+		"typeerr/b.go":  "package typeerr\n\nvar V int = \"nope\"\n",
+		"healthy/ok.go": "package healthy\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := m.LoadAll()
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "typeerr") {
+		t.Errorf("error does not name the broken package: %v", errs[0])
+	}
+}
+
+func TestLoadAllCleanModuleNoErrors(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() {}\n",
+		"b/b.go": "package b\n\nfunc B() {}\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, errs := m.LoadAll()
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+// A broken dependency poisons its importers but nothing else: the importer
+// fails with the dependency's error, while unrelated packages still load.
+func TestBrokenDependencyOnlyPoisonsImporters(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":     "module tmpmod\n\ngo 1.22\n",
+		"dep/d.go":   "package dep\n\nfunc Broken( {\n",
+		"user/u.go":  "package user\n\nimport \"tmpmod/dep\"\n\nvar _ = dep.Broken\n",
+		"indep/i.go": "package indep\n\nfunc Fine() {}\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, errs := m.LoadAll()
+	if len(errs) != 2 {
+		t.Fatalf("got %d errors, want 2 (dep itself + its importer): %v", len(errs), errs)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tmpmod/indep" {
+		t.Fatalf("independent package should survive alone, got %v", pkgs)
+	}
+}

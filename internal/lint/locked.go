@@ -2,24 +2,35 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
+
+	"pdr/internal/lint/cfg"
 )
 
-// AnalyzerLocked enforces the single-writer engine discipline: in any
-// struct that owns a `mu` sync.Mutex/RWMutex, fields whose declaration
-// comment says "guarded by mu" may only be touched by methods that call
-// mu.Lock/RLock earlier in the same body. Methods whose name ends in
-// "Locked" are exempt — by convention their caller already holds mu.
+// AnalyzerLocked enforces the engine's reader/writer discipline over every
+// struct that owns a `mu` sync.Mutex/RWMutex with "guarded by mu" fields.
+// Since v2 it is path-sensitive and RW-aware, built on the internal/lint/cfg
+// dataflow engine:
 //
-// The check is intra-procedural and position-based (a Lock call textually
-// before the first guarded access), which is exactly the shape every
-// handler in internal/service follows: lock at the top, defer unlock, then
-// use srv/mon.
+//   - reading a guarded field requires at least the read lock (RLock or
+//     Lock) held on *every* path reaching the access;
+//   - writing a guarded field — assignment, ++/--, delete, taking its
+//     address — requires the write lock; a write on a path where only RLock
+//     is held is exactly the torn-state race the PR 3 migration invited and
+//     is reported even though v1's positional check accepted it.
+//
+// Accesses are matched to mutexes textually ("sh.entries" needs "sh.mu"),
+// so locking a shard through a local variable is in scope. Function
+// literals inherit the lock state of their occurrence point: a worker
+// closure spawned between RLock and RUnlock may read guarded state, one
+// spawned with no lock held may not. Methods whose name ends in "Locked"
+// are exempt — by convention their caller already holds mu — and a
+// constructor that builds the struct itself (s := &T{...}) owns the value
+// until it escapes.
 var AnalyzerLocked = &Analyzer{
 	Name: "locked",
-	Doc:  "flags methods touching \"guarded by mu\" fields without locking mu first",
+	Doc:  "flags guarded-field reads without any lock and writes without the write lock on some path",
 	Run:  runLocked,
 }
 
@@ -89,20 +100,26 @@ func runLocked(p *Pass) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				continue
 			}
-			recvName, typeName := receiver(fd)
-			fields, ok := guarded[typeName]
-			if !ok || recvName == "" {
-				continue
-			}
-			checkLockDiscipline(p, fd, recvName, fields)
+			checkLockedBody(p, guarded, funcContext(fd), fd.Body, lockState{})
 		}
 	}
+}
+
+// funcContext names a function for diagnostics: "Service.Watch" for
+// methods, "New" for plain functions.
+func funcContext(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		if _, t := receiver(fd); t != "" {
+			return t + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
 }
 
 // receiver returns the receiver variable name and its (dereferenced) type
@@ -125,46 +142,57 @@ func receiver(fd *ast.FuncDecl) (recvName, typeName string) {
 	return recvName, typeName
 }
 
-func checkLockDiscipline(p *Pass, fd *ast.FuncDecl, recvName string, fields map[string]bool) {
-	lockPos := token.Pos(-1)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// checkLockedBody converges the lock-state dataflow over body and reports
+// every guarded access whose required level is not held on all paths
+// reaching it. Function literals recurse with the state of their occurrence
+// point as entry.
+func checkLockedBody(p *Pass, guarded map[string]map[string]bool, ctx string, body *ast.BlockStmt, entry lockState) {
+	owned := ownedIdents(p, guarded, body)
+	g := cfg.New(body)
+	res := lockFlow(p, g, entry)
+	step := func(n ast.Node, in lockState) lockState { return stepLockState(p, n, in) }
+	res.WalkReached(step, func(n ast.Node, before lockState) {
+		checkNodeAccesses(p, guarded, owned, ctx, n, before)
+		for _, fl := range topFuncLits(n) {
+			checkLockedBody(p, guarded, ctx+".func", fl.Body, before.clone())
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		inner, ok := sel.X.(*ast.SelectorExpr)
-		if !ok || inner.Sel.Name != "mu" {
-			return true
-		}
-		if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
-			if lockPos == token.Pos(-1) || call.Pos() < lockPos {
-				lockPos = call.Pos()
-			}
-		}
-		return true
-	})
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || !fields[sel.Sel.Name] {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != recvName {
-			return true
-		}
-		if lockPos == token.Pos(-1) || sel.Pos() < lockPos {
-			p.Reportf(sel.Pos(), "%s.%s accesses %s.%s (guarded by mu) without holding mu; lock first, rename the method *Locked if the caller locks, or lint:ignore with a reason", receiverTypeName(fd), fd.Name.Name, recvName, sel.Sel.Name)
-			return false // one report per access chain
-		}
-		return true
 	})
 }
 
-func receiverTypeName(fd *ast.FuncDecl) string {
-	_, t := receiver(fd)
-	return t
+// checkNodeAccesses reports the guarded-field accesses directly inside one
+// CFG node (function literals excluded) against the lock state before it.
+func checkNodeAccesses(p *Pass, guarded map[string]map[string]bool, owned map[string]bool, ctx string, n ast.Node, before lockState) {
+	writes := writeSelectors(n)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		owner, ok := guardedFieldSel(p, guarded, sel)
+		if !ok {
+			return true
+		}
+		base := exprKey(sel.X)
+		if base == "" || owned[rootIdent(sel.X)] {
+			return true
+		}
+		level := before[base+".mu"]
+		access := base + "." + sel.Sel.Name
+		switch {
+		case writes[ast.Expr(sel)] && level < 2:
+			if level == 1 {
+				p.Reportf(sel.Pos(), "%s writes %s (guarded by %s.mu) while holding only the read lock; writes need %s.mu.Lock()", ctx, access, owner, base)
+			} else {
+				p.Reportf(sel.Pos(), "%s writes %s (guarded by %s.mu) on a path where %s.mu is not held; lock first, rename the function *Locked if the caller locks, or lint:ignore with a reason", ctx, access, owner, base)
+			}
+			return false // one report per access chain
+		case !writes[ast.Expr(sel)] && level < 1:
+			p.Reportf(sel.Pos(), "%s accesses %s (guarded by %s.mu) on a path where %s.mu is not held; lock first, rename the function *Locked if the caller locks, or lint:ignore with a reason", ctx, access, owner, base)
+			return false
+		}
+		return true
+	})
 }

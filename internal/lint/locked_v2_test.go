@@ -1,0 +1,168 @@
+package lint
+
+import "testing"
+
+// TestLockedV2 pins the flow-aware behaviors that v1's positional check
+// could not express: the RLock-write rule, path sensitivity across
+// branches, manual unlock, and the owned-constructor exemption.
+func TestLockedV2(t *testing.T) {
+	const rwDecl = `package x
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+`
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		// The race class this PR exists for: writing guarded state while
+		// holding only the read lock. v1 accepted this (RLock is "a lock");
+		// v2 must flag it. internal/lint/raceproof_test.go proves the same
+		// shape races under -race.
+		{"write under RLock flagged", rwDecl + `
+func (s *S) Bump() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.n++
+}
+`, 1},
+		{"write under Lock allowed", rwDecl + `
+func (s *S) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+`, 0},
+		{"read under RLock still allowed", rwDecl + `
+func (s *S) Get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+`, 0},
+		// Path sensitivity: locking on only one branch does not protect an
+		// access after the merge. v1's "any Lock textually earlier" check
+		// accepted exactly this shape.
+		{"lock on one branch only flagged", rwDecl + `
+func (s *S) Flaky(cond bool) int {
+	if cond {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.n
+}
+`, 1},
+		{"lock on both branches allowed", rwDecl + `
+func (s *S) Both(cond bool) int {
+	if cond {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	return s.n
+}
+`, 0},
+		// A manual unlock ends the protected region: v1 only looked for the
+		// position of the Lock call.
+		{"access after manual unlock flagged", rwDecl + `
+func (s *S) Torn() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n + s.n
+}
+`, 1},
+		// The early-return shape every cache path uses: lock, hit-path
+		// returns after unlock, miss-path continues under the lock.
+		{"early return with per-path unlock allowed", rwDecl + `
+func (s *S) Hit(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	s.n++
+	s.mu.Unlock()
+	return 0
+}
+`, 0},
+		// Constructors own the value they build until it escapes; requiring
+		// a lock there would outlaw `s := &S{}; s.n = 1; return s`.
+		{"owned constructor exempt", rwDecl + `
+func New() *S {
+	s := &S{}
+	s.n = 1
+	return s
+}
+`, 0},
+		// A closure spawned with the write lock held inherits it; the same
+		// closure with only RLock held must not write.
+		{"closure write under inherited RLock flagged", rwDecl + `
+func (s *S) Fan() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	done := make(chan struct{})
+	go func() {
+		s.n++
+		close(done)
+	}()
+	<-done
+}
+`, 1},
+		// Writing through a local alias of a guarded struct requires the
+		// alias's own mu key — the sharded-cache idiom, now in scope.
+		{"local shard write under its lock allowed", `package x
+import "sync"
+type shard struct {
+	mu      sync.Mutex
+	entries map[int]int // guarded by mu
+}
+type sharded struct {
+	shards [4]*shard
+}
+func (c *sharded) put(k, v int) {
+	sh := c.shards[k%4]
+	sh.mu.Lock()
+	sh.entries[k] = v
+	sh.mu.Unlock()
+}
+`, 0},
+		{"local shard write without lock flagged", `package x
+import "sync"
+type shard struct {
+	mu      sync.Mutex
+	entries map[int]int // guarded by mu
+}
+type sharded struct {
+	shards [4]*shard
+}
+func (c *sharded) put(k, v int) {
+	sh := c.shards[k%4]
+	sh.entries[k] = v
+}
+`, 1},
+		// delete() mutates its map argument.
+		{"delete under RLock flagged", `package x
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	m  map[int]int // guarded by mu
+}
+func (s *S) Evict(k int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delete(s.m, k)
+}
+`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, "pdr/internal/x", tc.src, AnalyzerLocked), "locked", tc.want)
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import "testing"
+
+func TestNoLeak(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		// The worker-pool shape internal/parallel uses: Add before spawn,
+		// Done deferred (through a cleanup closure), Wait joins.
+		{"waitgroup join clean", `package x
+import "sync"
+func fan(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`, 0},
+		{"done inside deferred closure clean", `package x
+import "sync"
+func fan(slots chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			<-slots
+			wg.Done()
+		}()
+	}()
+	wg.Wait()
+}
+`, 0},
+		// Done reachable on only one path: Wait hangs when cond is false.
+		{"done missing on a path flagged", `package x
+import "sync"
+func fan(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if cond {
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}
+`, 1},
+		// Add inside the goroutine races Wait.
+		{"add inside goroutine flagged", `package x
+import "sync"
+func fan() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`, 1},
+		{"no add at all flagged", `package x
+import "sync"
+func fan() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`, 1},
+		// Field WaitGroups are out of local-Add scope: Add may happen in
+		// another method.
+		{"field waitgroup add elsewhere clean", `package x
+import "sync"
+type pool struct {
+	wg sync.WaitGroup
+}
+func (p *pool) track() { p.wg.Add(1) }
+func (p *pool) spawn() {
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+`, 0},
+		// Channel-send goroutines: buffered send can always complete.
+		{"buffered channel send clean", `package x
+func compute() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+`, 0},
+		{"unbuffered send with local receive clean", `package x
+func compute() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+`, 0},
+		{"unbuffered send never received flagged", `package x
+func compute() {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+}
+`, 1},
+		// Drainer goroutines are bounded by their input channel.
+		{"receiver goroutine clean", `package x
+func drain(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+`, 0},
+		// Fire-and-forget with no join primitive at all.
+		{"fire and forget flagged", `package x
+func leak() {
+	go func() {
+		for {
+		}
+	}()
+}
+`, 1},
+		{"fire and forget with documented ignore clean", `package x
+func daemon() {
+	// lint:ignore noleak test fixture daemon rationale
+	go func() {
+		for {
+		}
+	}()
+}
+`, 0},
+		// `go method()` has no visible body; skipped by contract.
+		{"named function goroutine skipped", `package x
+func helper() {}
+func launch() {
+	go helper()
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, analyze(t, "pdr/internal/x", tc.src, AnalyzerNoLeak), "noleak", tc.want)
+		})
+	}
+}

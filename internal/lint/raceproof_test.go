@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestRaceReproRLockWrite proves the locked analyzer's central claim with
+// the runtime race detector instead of static reasoning: a write to a
+// guarded field while holding only the read lock is a real data race, not
+// a style nit. The body is exactly the shape locked v2 flags (see the
+// "write under RLock flagged" fixture in locked_v2_test.go).
+//
+// The test is gated on PDR_RACE_REPRO=1 because its success criterion is
+// inverted: under `go test -race` it MUST fail with a race report.
+// scripts/check.sh runs it that way and treats a passing run as the error.
+// Test files are not analyzed by pdrvet, so the deliberate race cannot
+// trip TestSuiteIsClean.
+func TestRaceReproRLockWrite(t *testing.T) {
+	if os.Getenv("PDR_RACE_REPRO") != "1" {
+		t.Skip("deliberate data race; set PDR_RACE_REPRO=1 and run with -race to reproduce")
+	}
+	var s struct {
+		mu sync.RWMutex
+		n  int // guarded by mu
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.mu.RLock()
+				s.n++ // write under the read lock: concurrent writers race
+				s.mu.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.n == -1 {
+		t.Fatal("unreachable; keeps s.n live")
+	}
+}

@@ -51,6 +51,26 @@ go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime 5s ./internal/swee
 step "pdrvet (project-specific static analysis)"
 go run ./cmd/pdrvet ./...
 
+step "analyzer inventory matches docs/LINT.md"
+listed=$(go run ./cmd/pdrvet -list | awk '{print $1}' | sort)
+documented=$(grep -E '^### ' docs/LINT.md | sed -E 's/^### ([a-z]+) .*/\1/' | sort)
+if [ "$listed" != "$documented" ]; then
+	echo "analyzer inventory drift between 'pdrvet -list' and docs/LINT.md:" >&2
+	echo "pdrvet -list: $(echo $listed)" >&2
+	echo "docs/LINT.md: $(echo $documented)" >&2
+	exit 1
+fi
+echo "ok"
+
+step "race reproducer (locked's RLock-write finding is a real race)"
+# Inverted gate: the env-gated reproducer in internal/lint/raceproof_test.go
+# commits the exact pattern the locked analyzer flags; -race must fail it.
+if PDR_RACE_REPRO=1 go test -race -run TestRaceReproRLockWrite -count=1 ./internal/lint/ >/dev/null 2>&1; then
+	echo "expected the RLock-write reproducer to fail under -race" >&2
+	exit 1
+fi
+echo "ok (race detector confirms the analyzer's claim)"
+
 step "benchdiff (informational: checked-in baselines vs this host)"
 # Never gates the build: bench numbers are host-dependent by design.
 scripts/benchdiff.sh || true
