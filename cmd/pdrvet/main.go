@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	pdrvet [-only floateq,locked] [-json] [-list] [patterns]
+//	pdrvet [-only floateq,locked] [-json] [-list] [-graph] [-fix [-dry]] [patterns]
 //
 // Patterns are module-relative ("./...", "./internal/geom", or full import
 // paths like "pdr/internal/service"); with none, or with "./...", the whole
 // module is analyzed. -json switches the diagnostic stream to one JSON
-// object per line for machine consumption. Exits 1 when findings remain
+// object per line for machine consumption. -graph dumps the pdr:hot call
+// graph instead of running analyzers. -fix applies the suggested fixes
+// attached to findings (atomically per file, gofmt-checked); -fix -dry
+// prints the unified diffs without writing. Exits 1 when findings remain
 // after lint:ignore suppression, 2 on load/usage errors. Load errors are
 // tolerant: a package that fails to parse or type-check is reported on
 // stderr, the remaining packages are still analyzed and their findings
@@ -40,8 +43,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list analyzers and exit")
 		asJSON   = fs.Bool("json", false, "emit diagnostics as one JSON object per line")
 		rootFlag = fs.String("root", ".", "module root (directory containing go.mod)")
+		graph    = fs.Bool("graph", false, "dump the pdr:hot call graph and exit")
+		fix      = fs.Bool("fix", false, "apply suggested fixes (atomic per file, gofmt-checked)")
+		dry      = fs.Bool("dry", false, "with -fix: print unified diffs instead of writing")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dry && !*fix {
+		fmt.Fprintln(stderr, "pdrvet: -dry requires -fix")
 		return 2
 	}
 
@@ -74,7 +84,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *graph {
+		if err := lint.BuildGraph(pkgs).Dump(stdout); err != nil {
+			fmt.Fprintln(stderr, "pdrvet:", err)
+			return 2
+		}
+		if len(loadErrs) > 0 {
+			return 2
+		}
+		return 0
+	}
+
 	diags := lint.Run(pkgs, analyzers)
+
+	if *fix {
+		sum, err := lint.ApplyFixes(diags, *dry, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "pdrvet:", err)
+			return 2
+		}
+		verb := "fixed"
+		if *dry {
+			verb = "fixable"
+		}
+		fmt.Fprintf(stderr, "pdrvet: %d finding(s), %d %s in %d file(s), %d fix(es) skipped\n",
+			len(diags), sum.Applied, verb, len(sum.Files), sum.Skipped)
+		if *dry {
+			if len(loadErrs) > 0 {
+				return 2
+			}
+			// Dry mode gates CI: any applicable fix means the tree is not
+			// clean.
+			if sum.Applied > 0 {
+				return 1
+			}
+			return 0
+		}
+		// After applying, the remaining findings are those without fixes.
+		if len(loadErrs) > 0 {
+			return 2
+		}
+		if len(diags) > sum.Applied {
+			return 1
+		}
+		return 0
+	}
+
 	if *asJSON {
 		if err := lint.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "pdrvet:", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"go/format"
 	"os"
 	"path/filepath"
 	"strings"
@@ -135,5 +136,145 @@ func TestNoMatchPatternExits2(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "matched no packages") {
 		t.Errorf("stderr missing pattern error: %q", stderr.String())
+	}
+}
+
+// hotModule is a throwaway module with one auto-fixable hot-path finding:
+// an un-preallocated append in a loop reachable from a pdr:hot root.
+func hotModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"hot.go": `package tmpmod
+
+// pdr:hot
+func Double(points []float64) []float64 {
+	var out []float64
+	for _, p := range points {
+		out = append(out, p*2)
+	}
+	return out
+}
+`,
+	})
+}
+
+func TestFixAppliesPreallocAndRoundTripsGofmt(t *testing.T) {
+	dir := hotModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-only", "hotalloc", "-fix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0 (every finding fixed): stderr=%s", code, stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "hot.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "out := make([]float64, 0, len(points))") {
+		t.Fatalf("prealloc fix not applied:\n%s", src)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, src) {
+		t.Errorf("fixed file is not gofmt-clean:\n%s", src)
+	}
+	// The tree is now finding-free: the fix round-trips through the
+	// analyzer that suggested it.
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-root", dir, "-only", "hotalloc"}, &out2, &err2); code != 0 {
+		t.Errorf("re-run after -fix exits %d, want 0: %s%s", code, out2.String(), err2.String())
+	}
+}
+
+func TestFixDryPrintsDiffWritesNothing(t *testing.T) {
+	dir := hotModule(t)
+	before, err := os.ReadFile(filepath.Join(dir, "hot.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-only", "hotalloc", "-fix", "-dry"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-fix -dry exit code = %d, want 1 (fixable findings gate): stderr=%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "@@") || !strings.Contains(out, "-\tvar out []float64") ||
+		!strings.Contains(out, "+\tout := make([]float64, 0, len(points))") {
+		t.Errorf("dry run did not print the unified diff:\n%s", out)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "hot.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("-dry modified the file")
+	}
+}
+
+func TestFixDryCleanTreeExits0(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"ok.go":  "package tmpmod\n\nfunc F() {}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", dir, "-fix", "-dry"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean tree -fix -dry exit = %d, want 0: %s", code, stderr.String())
+	}
+}
+
+func TestDryWithoutFixExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dry"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-dry alone exit = %d, want 2", code)
+	}
+}
+
+func TestGraphDumpShowsHotReachability(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"g.go": `package tmpmod
+
+// pdr:hot
+func Entry() { step() }
+
+func step() {}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", dir, "-graph"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-graph exit = %d, want 0: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"root tmpmod.Entry", "hot  tmpmod.step", "-> tmpmod.step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-graph output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONCarriesPkgAndFixes(t *testing.T) {
+	dir := hotModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-json", "-only", "hotalloc"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1: %s", code, stderr.String())
+	}
+	diags, err := lint.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("decoded %d diagnostics, want 1", len(diags))
+	}
+	d := diags[0]
+	if d.Pkg != "tmpmod" {
+		t.Errorf("pkg = %q, want tmpmod", d.Pkg)
+	}
+	if len(d.Fixes) != 1 || len(d.Fixes[0].Edits) != 1 {
+		t.Fatalf("json diagnostic lost the suggested fix: %+v", d)
+	}
+	if e := d.Fixes[0].Edits[0]; e.NewText == "" || e.End <= e.Start {
+		t.Errorf("fix edit not serialized: %+v", e)
 	}
 }

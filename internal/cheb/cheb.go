@@ -110,6 +110,9 @@ func (s *Series2D) Index(i, j int) int {
 func (s *Series2D) At(i, j int) float64 { return s.A[s.Index(i, j)] }
 
 // Eval evaluates the series at (x, y) in [-1, 1]^2.
+//
+// pdr:hot — PA evaluation root for the hotpath analyzer family
+// (docs/LINT.md); called per branch-and-bound probe.
 func (s *Series2D) Eval(x, y float64) float64 {
 	k := s.K
 	tx := make([]float64, k+1)
@@ -165,6 +168,9 @@ func (s *Series2D) Reset() {
 // with c_ij = 4, or 2 when exactly one of i, j is zero, or 1 when both are.
 // Deletions pass a negative value. The box is clipped to [-1, 1]^2; an empty
 // clipped box is a no-op.
+//
+// pdr:hot — Lemma-4 update root for the hotpath analyzer family
+// (docs/LINT.md); runs once per movement update.
 func (s *Series2D) AddBoxDelta(x1, y1, x2, y2, value float64) {
 	x1, x2 = clamp(x1, -1, 1), clamp(x2, -1, 1)
 	y1, y2 = clamp(y1, -1, 1), clamp(y2, -1, 1)
@@ -218,6 +224,9 @@ func boxFactors(a []float64, z1, z2 float64) {
 // Bounds returns sound lower and upper bounds of the series over the box
 // [x1, x2] x [y1, y2] (within [-1, 1]^2), obtained by interval arithmetic
 // over per-term Chebyshev bounds (paper Sec. 6.3).
+//
+// pdr:hot — PA bound root for the hotpath analyzer family (docs/LINT.md);
+// called per branch-and-bound box.
 func (s *Series2D) Bounds(x1, y1, x2, y2 float64) (lo, hi float64) {
 	k := s.K
 	type iv struct{ lo, hi float64 }

@@ -110,6 +110,8 @@ func (s *Server) validateLocked(q Query) error {
 // Snapshot answers the snapshot PDR query q with the given method. Any
 // number of Snapshot/Interval calls may run concurrently; they serialize
 // only against mutations (Tick, Apply, Load).
+//
+// pdr:hot — query-path root for the hotpath analyzer family (docs/LINT.md).
 func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -388,6 +390,8 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 // (total work, not wall time), and I/O is charged once from the pool delta
 // across the whole fan-out so overlapping sub-snapshots never double-count
 // a page access.
+//
+// pdr:hot — query-path root for the hotpath analyzer family (docs/LINT.md).
 func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error) {
 	if until < q.At {
 		return nil, fmt.Errorf("core: empty interval [%d, %d]", q.At, until)

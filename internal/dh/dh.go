@@ -159,6 +159,10 @@ func (h *Histogram) Delete(s motion.State, at motion.Tick) {
 }
 
 // Apply dispatches an update record.
+//
+// pdr:hot — update-stream root for the hotpath analyzer family
+// (docs/LINT.md); Insert/Delete and the Lemma-coverage loop are reached
+// through it.
 func (h *Histogram) Apply(u motion.Update) {
 	switch u.Kind {
 	case motion.Insert:

@@ -50,13 +50,11 @@ func (r *FilterResult) Mark(i, j int) Mark { return r.marks[i*r.h.cfg.M+j] }
 
 // Candidates returns the candidate cells in row-major order.
 func (r *FilterResult) Candidates() []CellIndex {
-	var out []CellIndex
+	out := make([]CellIndex, 0, len(r.marks))
 	m := r.h.cfg.M
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if r.marks[i*m+j] == Candidate {
-				out = append(out, CellIndex{i, j})
-			}
+	for idx, mk := range r.marks {
+		if mk == Candidate {
+			out = append(out, CellIndex{idx / m, idx % m})
 		}
 	}
 	return out
@@ -120,6 +118,8 @@ func (r *FilterResult) CountMarks() (accepted, rejected, candidates int) {
 // PDR query with density threshold rho and neighborhood edge l. It requires
 // l_c <= l/2 (otherwise neither neighborhood bound is valid) and qt within
 // the maintained window.
+//
+// pdr:hot — filter-step root for the hotpath analyzer family (docs/LINT.md).
 func (h *Histogram) Filter(qt motion.Tick, rho, l float64) (*FilterResult, error) {
 	if l <= 0 || rho < 0 {
 		return nil, fmt.Errorf("dh: bad query parameters rho=%g l=%g", rho, l)

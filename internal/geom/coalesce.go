@@ -1,6 +1,9 @@
 package geom
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Coalesce returns a compacted region covering exactly the same point set:
 // rectangles that abut horizontally with identical Y extents are merged into
@@ -27,21 +30,14 @@ func Coalesce(g Region) Region {
 	}
 
 	// Pass 1: merge horizontal runs within (MinY, MaxY) bands.
-	sort.Slice(work, func(i, j int) bool {
-		a, b := work[i], work[j]
-		if a.MinY < b.MinY {
-			return true
+	slices.SortFunc(work, func(a, b Rect) int {
+		if c := cmp.Compare(a.MinY, b.MinY); c != 0 {
+			return c
 		}
-		if a.MinY > b.MinY {
-			return false
+		if c := cmp.Compare(a.MaxY, b.MaxY); c != 0 {
+			return c
 		}
-		if a.MaxY < b.MaxY {
-			return true
-		}
-		if a.MaxY > b.MaxY {
-			return false
-		}
-		return a.MinX < b.MinX
+		return cmp.Compare(a.MinX, b.MinX)
 	})
 	merged := work[:1]
 	for _, r := range work[1:] {
@@ -58,21 +54,14 @@ func Coalesce(g Region) Region {
 	}
 
 	// Pass 2: stack vertical runs with identical X extents.
-	sort.Slice(merged, func(i, j int) bool {
-		a, b := merged[i], merged[j]
-		if a.MinX < b.MinX {
-			return true
+	slices.SortFunc(merged, func(a, b Rect) int {
+		if c := cmp.Compare(a.MinX, b.MinX); c != 0 {
+			return c
 		}
-		if a.MinX > b.MinX {
-			return false
+		if c := cmp.Compare(a.MaxX, b.MaxX); c != 0 {
+			return c
 		}
-		if a.MaxX < b.MaxX {
-			return true
-		}
-		if a.MaxX > b.MaxX {
-			return false
-		}
-		return a.MinY < b.MinY
+		return cmp.Compare(a.MinY, b.MinY)
 	})
 	out := merged[:1]
 	for _, r := range merged[1:] {

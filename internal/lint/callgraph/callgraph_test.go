@@ -1,0 +1,262 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"pdr/internal/lint/callgraph"
+)
+
+// buildFixture type-checks one synthetic package and builds its call graph.
+func buildFixture(t *testing.T, src string) *callgraph.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fix", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	return callgraph.Build(fset, []callgraph.Unit{{
+		Path:  "fix",
+		Files: []*ast.File{file},
+		Pkg:   pkg,
+		Info:  info,
+	}})
+}
+
+// nodeByName finds a node by its printable name.
+func nodeByName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not in graph; have %d nodes", name, len(g.Nodes))
+	return nil
+}
+
+func TestHotPropagatesTransitively(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+// Entry is the query entry point.
+// pdr:hot
+func Entry() { middle() }
+
+func middle() { leaf() }
+
+func leaf() {}
+
+func unreached() { leaf() }
+`)
+	for name, wantHot := range map[string]bool{
+		"fix.Entry":     true,
+		"fix.middle":    true,
+		"fix.leaf":      true,
+		"fix.unreached": false,
+	} {
+		if got := nodeByName(t, g, name).Hot; got != wantHot {
+			t.Errorf("%s: Hot = %v, want %v", name, got, wantHot)
+		}
+	}
+	if !nodeByName(t, g, "fix.Entry").Root {
+		t.Errorf("fix.Entry should be a root")
+	}
+	if nodeByName(t, g, "fix.middle").Root {
+		t.Errorf("fix.middle must not be a root")
+	}
+}
+
+func TestMethodCallResolvesViaReceiver(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+type server struct{}
+
+func (s *server) run() { s.step() }
+
+func (s *server) step() {}
+
+// pdr:hot
+func Entry() {
+	var s server
+	s.run()
+}
+`)
+	for _, name := range []string{"fix.(*server).run", "fix.(*server).step"} {
+		if !nodeByName(t, g, name).Hot {
+			t.Errorf("%s should be hot via resolved method calls", name)
+		}
+	}
+}
+
+func TestMethodValueAndFuncValueTrackedFlowInsensitively(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+type server struct{}
+
+func (s *server) work() {}
+
+func helper() {}
+
+func call(f func()) { f() }
+
+// pdr:hot
+func Entry(s *server) {
+	f := s.work // method value: edge Entry -> (*server).work
+	call(f)
+	call(helper) // function value as argument: edge Entry -> helper
+}
+`)
+	for _, name := range []string{"fix.(*server).work", "fix.helper", "fix.call"} {
+		if !nodeByName(t, g, name).Hot {
+			t.Errorf("%s should be hot via value-reference edges", name)
+		}
+	}
+	// call() invokes its parameter: that is a dynamic site, not an edge.
+	callNode := nodeByName(t, g, "fix.call")
+	if len(callNode.Dynamic) != 1 {
+		t.Errorf("fix.call: %d dynamic sites, want 1 (the f() invocation)", len(callNode.Dynamic))
+	}
+	if len(callNode.Calls) != 0 {
+		t.Errorf("fix.call: unexpected resolved edges %v", names(callNode.Calls))
+	}
+}
+
+func TestFuncLitIsOwnNodeAndInheritsHot(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+func leaf() {}
+
+// pdr:hot
+func Entry() {
+	f := func() { leaf() }
+	f()
+}
+
+func cold() {
+	g := func() { leaf() }
+	g()
+}
+`)
+	lit := nodeByName(t, g, "fix.Entry$1")
+	if !lit.Hot {
+		t.Errorf("literal inside hot Entry should be hot")
+	}
+	if !nodeByName(t, g, "fix.leaf").Hot {
+		t.Errorf("leaf called from hot literal should be hot")
+	}
+	if nodeByName(t, g, "fix.cold$1").Hot {
+		t.Errorf("literal inside cold function must stay cold")
+	}
+}
+
+func TestInterfaceCallIsDynamicFallback(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+type runner interface{ run() }
+
+type impl struct{}
+
+func (impl) run() { leaf() }
+
+func leaf() {}
+
+// pdr:hot
+func Entry(r runner) { r.run() }
+`)
+	entry := nodeByName(t, g, "fix.Entry")
+	if len(entry.Dynamic) != 1 {
+		t.Fatalf("Entry: %d dynamic sites, want 1 (interface dispatch)", len(entry.Dynamic))
+	}
+	// The implementation is NOT resolved through the interface: this is the
+	// documented blind spot that -graph surfaces.
+	if nodeByName(t, g, "fix.(impl).run").Hot {
+		t.Errorf("impl.run must not be hot: interface dispatch is unresolved")
+	}
+	if nodeByName(t, g, "fix.leaf").Hot {
+		t.Errorf("leaf must stay cold behind the unresolved interface call")
+	}
+}
+
+func TestConversionsAndBuiltinsAreNotCalls(t *testing.T) {
+	g := buildFixture(t, `package fix
+
+type id int
+
+// pdr:hot
+func Entry(xs []int) int {
+	ys := make([]id, 0, len(xs))
+	for _, x := range xs {
+		ys = append(ys, id(x))
+	}
+	return len(ys)
+}
+`)
+	entry := nodeByName(t, g, "fix.Entry")
+	if len(entry.Dynamic) != 0 {
+		t.Errorf("Entry: conversions/builtins misclassified as dynamic: %d sites", len(entry.Dynamic))
+	}
+	if len(entry.Calls) != 0 {
+		t.Errorf("Entry: unexpected resolved edges %v", names(entry.Calls))
+	}
+}
+
+func TestDumpIsStableAndMarked(t *testing.T) {
+	src := `package fix
+
+// pdr:hot
+func Entry() { step() }
+
+func step() {}
+
+func lonely() {}
+`
+	g := buildFixture(t, src)
+	var a, b strings.Builder
+	if err := g.Dump(&a); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if err := buildFixture(t, src).Dump(&b); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("Dump is not deterministic:\n--- first\n%s--- second\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"root fix.Entry",
+		"-> fix.step",
+		"hot  fix.step",
+		"1 roots, 2 hot",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fix.lonely") {
+		t.Errorf("Dump should elide cold leaf nodes:\n%s", out)
+	}
+}
+
+func names(ns []*callgraph.Node) []string {
+	out := make([]string, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, n.Name)
+	}
+	return out
+}

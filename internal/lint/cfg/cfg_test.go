@@ -433,3 +433,114 @@ _ = lock`))
 		t.Fatalf("merge-point use not visited")
 	}
 }
+
+// The corner cases below pin statement shapes the interprocedural call
+// graph leans on: the CFG must surface them as ordinary nodes in the
+// enclosing function's blocks (so analyzers walking Block.Nodes see the
+// calls), without leaking literal bodies or distorting control flow.
+
+func TestMethodValueAssignmentIsOrdinaryNode(t *testing.T) {
+	g := New(parseBody(t, "f := s.Run\nf()\n_ = f"))
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("method-value assignment distorted flow: %v", g.Entry.Succs)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3 (assign, call, use)", len(g.Entry.Nodes))
+	}
+	// The assignment node must carry the selector so a walker can resolve
+	// the method value.
+	sawMethodValue := false
+	ast.Inspect(g.Entry.Nodes[0], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Run" {
+			sawMethodValue = true
+		}
+		return true
+	})
+	if !sawMethodValue {
+		t.Fatalf("assign node lost the s.Run selector: %T", g.Entry.Nodes[0])
+	}
+}
+
+func TestDeferAndGoArgumentsStayInBlock(t *testing.T) {
+	// Calls in defer/go *arguments* run now, at the statement, even though
+	// the deferred/spawned call runs later: the statement must be a node of
+	// the current block with its argument calls intact.
+	g := New(parseBody(t, "defer release(acquire())\ngo worker(setup())\ndone()"))
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3 (defer, go, call)", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("defer/go distorted flow: %v", g.Entry.Succs)
+	}
+	for i, wantInner := range []string{"acquire", "setup"} {
+		found := false
+		ast.Inspect(g.Entry.Nodes[i], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == wantInner {
+				found = true
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("node %d lost its argument call %q", i, wantInner)
+		}
+	}
+}
+
+func TestDeferredFuncLitBodyIsOpaque(t *testing.T) {
+	// A return inside a deferred literal must not create an edge to the
+	// enclosing Exit; only the defer statement itself is in the block.
+	g := New(parseBody(t, "defer func() {\n\treturn\n}()\nx := 1\n_ = x"))
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("deferred literal body leaked into enclosing graph: %v", g.Entry.Succs)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestVariadicCallSites(t *testing.T) {
+	// Variadic calls — both element form and slice-spread — are ordinary
+	// nodes; the spread's ellipsis must not be mistaken for control flow.
+	g := New(parseBody(t, "xs := []int{1, 2}\nsink(1, 2, 3)\nsink(xs...)"))
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("variadic calls distorted flow: %v", g.Entry.Succs)
+	}
+	spread := g.Entry.Nodes[2]
+	found := false
+	ast.Inspect(spread, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Ellipsis.IsValid() {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("spread call site lost its ellipsis: %T", spread)
+	}
+}
+
+func TestVariadicCallInLoopCondition(t *testing.T) {
+	// A variadic call in a loop condition sits in the loop-head block and
+	// is re-evaluated per iteration: the head must have the back edge.
+	g := New(parseBody(t, "for check(1, 2) {\n\tstep()\n}\nrest()"))
+	heads := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if e, ok := n.(ast.Expr); ok {
+				if call, ok := e.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "check" {
+						heads++
+						if len(b.Succs) != 2 {
+							t.Fatalf("loop head should branch (body, after), got %d succs", len(b.Succs))
+						}
+					}
+				}
+			}
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("loop-head condition appeared %d times, want 1", heads)
+	}
+}

@@ -44,6 +44,33 @@ func f(a, b int) bool {
 	wantFindings(t, diags, "", 0)
 }
 
+func TestStaleIgnoreSilentUnderOnlyWithoutDirective(t *testing.T) {
+	// `-only floateq`: the named analyzer ran and matched nothing, but the
+	// directive analyzer itself is not in the running set, so no finding may
+	// carry its name — a partial run must never fail on directive hygiene
+	// the user did not ask it to check.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func f(a, b int) bool {
+	return a == b // lint:ignore floateq ints are exact, nothing to suppress
+}
+`, AnalyzerFloatEq)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestStaleIgnoreReportedUnderOnlyWithDirective(t *testing.T) {
+	// `-only floateq,directive`: every analyzer the directive names ran and
+	// the directive analyzer is in the set — staleness is decidable without
+	// the full suite.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func f(a, b int) bool {
+	return a == b // lint:ignore floateq ints are exact, nothing to suppress
+}
+`, AnalyzerFloatEq, AnalyzerDirective)
+	wantFindings(t, diags, "directive", 1)
+}
+
 func TestStaleAllIgnoreNeedsFullSuite(t *testing.T) {
 	src := `package x
 

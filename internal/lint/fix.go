@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FixEdit is one byte-offset splice into a source file: the half-open range
+// [Start, End) is replaced by NewText. Offsets index the file's bytes as
+// they were when the finding was produced.
+type FixEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is one machine-applicable repair for a finding: a short
+// description plus the textual edits that implement it. Edits may span
+// lines but must stay within one file and must not overlap other fixes'
+// edits in the same run.
+type SuggestedFix struct {
+	Message string    `json:"message"`
+	Edits   []FixEdit `json:"edits"`
+}
+
+// FixSummary reports what ApplyFixes did.
+type FixSummary struct {
+	// Files lists every file rewritten (or that would be, in dry mode),
+	// sorted.
+	Files []string
+	// Applied counts the suggested fixes applied.
+	Applied int
+	// Skipped counts fixes dropped because their edits overlapped an
+	// already-accepted fix in the same file.
+	Skipped int
+}
+
+// ApplyFixes applies every suggested fix attached to diags. Per file, edits
+// are sorted by offset, overlapping fixes are skipped (first-accepted
+// wins), the splices are applied back-to-front, and the result must pass
+// gofmt (go/format.Source) before anything is written; a file that fails
+// the re-check aborts the whole run with no partial writes. Writes are
+// atomic per file (write temp + rename). In dry mode nothing is written;
+// unified diffs are printed to w instead.
+func ApplyFixes(diags []Diagnostic, dry bool, w io.Writer) (FixSummary, error) {
+	var sum FixSummary
+
+	// Collect fixes per file, preserving diagnostic order.
+	type fileFix struct {
+		fix  SuggestedFix
+		diag Diagnostic
+	}
+	byFile := make(map[string][]fileFix)
+	var files []string
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			if len(f.Edits) == 0 {
+				continue
+			}
+			file := f.Edits[0].File
+			ok := true
+			for _, e := range f.Edits[1:] {
+				if e.File != file {
+					ok = false // cross-file fixes are not supported
+					break
+				}
+			}
+			if !ok {
+				sum.Skipped++
+				continue
+			}
+			if _, seen := byFile[file]; !seen {
+				files = append(files, file)
+			}
+			byFile[file] = append(byFile[file], fileFix{f, d})
+		}
+	}
+	sort.Strings(files)
+
+	// Phase 1: compute every rewritten file; fail before any write.
+	rewritten := make(map[string][]byte)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return sum, fmt.Errorf("fix: %w", err)
+		}
+		var accepted []FixEdit
+		for _, ff := range byFile[file] {
+			if edits, ok := acceptEdits(ff.fix.Edits, accepted, len(src)); ok {
+				accepted = append(accepted, edits...)
+				sum.Applied++
+			} else {
+				sum.Skipped++
+			}
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		out := splice(src, accepted)
+		formatted, err := format.Source(out)
+		if err != nil {
+			return sum, fmt.Errorf("fix: %s: result does not gofmt (fix rejected, nothing written): %w", file, err)
+		}
+		rewritten[file] = formatted
+		sum.Files = append(sum.Files, file)
+	}
+
+	// Phase 2: emit.
+	for _, file := range sum.Files {
+		if dry {
+			orig, err := os.ReadFile(file)
+			if err != nil {
+				return sum, fmt.Errorf("fix: %w", err)
+			}
+			fmt.Fprintf(w, "--- %s (current)\n+++ %s (fixed)\n", file, file)
+			writeUnifiedDiff(w, string(orig), string(rewritten[file]))
+			continue
+		}
+		if err := atomicWrite(file, rewritten[file]); err != nil {
+			return sum, fmt.Errorf("fix: %w", err)
+		}
+	}
+	return sum, nil
+}
+
+// acceptEdits validates one fix's edits against the file bounds and the
+// already-accepted edits: in-range, internally non-overlapping, and
+// disjoint from prior fixes. Returns the edits sorted by offset.
+func acceptEdits(edits, accepted []FixEdit, size int) ([]FixEdit, bool) {
+	sorted := make([]FixEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for i, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > size {
+			return nil, false
+		}
+		if i > 0 && e.Start < sorted[i-1].End {
+			return nil, false
+		}
+		for _, a := range accepted {
+			if e.Start < a.End && a.Start < e.End {
+				return nil, false
+			}
+		}
+	}
+	return sorted, true
+}
+
+// splice applies offset-sorted, non-overlapping edits back-to-front so
+// earlier offsets stay valid.
+func splice(src []byte, edits []FixEdit) []byte {
+	sorted := make([]FixEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := append([]byte(nil), src...)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		e := sorted[i]
+		out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out
+}
+
+// atomicWrite replaces path's contents via a temp file + rename in the same
+// directory, preserving the original mode.
+func atomicWrite(path string, data []byte) error {
+	mode := os.FileMode(0o644)
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pdrvet-fix-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// writeUnifiedDiff prints a minimal unified diff (3 lines of context)
+// between two texts, hunk headers included. Line-based LCS; fine for the
+// small per-file patches -fix produces.
+func writeUnifiedDiff(w io.Writer, a, b string) {
+	al := splitLines(a)
+	bl := splitLines(b)
+	// LCS table.
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	// Walk into an op list: ' ' common, '-' delete, '+' insert.
+	type op struct {
+		kind byte
+		line string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			ops = append(ops, op{' ', al[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', al[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', bl[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', al[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', bl[j]})
+	}
+	// Group into hunks with up to 3 common lines of context.
+	const ctx = 3
+	aLine, bLine := 1, 1
+	k := 0
+	for k < len(ops) {
+		// Skip runs of common lines between hunks.
+		if ops[k].kind == ' ' {
+			run := 0
+			for k+run < len(ops) && ops[k+run].kind == ' ' {
+				run++
+			}
+			if k+run == len(ops) {
+				break // trailing common tail
+			}
+			keep := run
+			if keep > ctx {
+				skip := run - ctx
+				if k > 0 {
+					// Interior run: keep ctx on both sides when long enough.
+					if run > 2*ctx {
+						skip = run - 2*ctx
+					} else {
+						skip = 0
+					}
+				}
+				aLine += skip
+				bLine += skip
+				k += skip
+				keep = run - skip
+			}
+			_ = keep
+		}
+		// Emit one hunk: from here until a common run longer than 2*ctx or EOF.
+		hs := k
+		he := k
+		common := 0
+		for he < len(ops) {
+			if ops[he].kind == ' ' {
+				common++
+				if common > 2*ctx {
+					he -= common - 1 // back to the first common line
+					common = 0
+					break
+				}
+			} else {
+				common = 0
+			}
+			he++
+		}
+		// Trim trailing context beyond ctx.
+		trail := 0
+		for he-1-trail >= hs && ops[he-1-trail].kind == ' ' {
+			trail++
+		}
+		if trail > ctx {
+			he -= trail - ctx
+		}
+		aStart, bStart := aLine, bLine
+		aCount, bCount := 0, 0
+		for _, o := range ops[hs:he] {
+			switch o.kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for _, o := range ops[hs:he] {
+			fmt.Fprintf(w, "%c%s\n", o.kind, o.line)
+			switch o.kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		k = he
+	}
+}
+
+// splitLines splits without a phantom trailing empty line.
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc reports per-element allocation patterns in functions
+// reachable from a pdr:hot root: growing a bare-declared slice with append
+// inside a loop (no preallocation), re-allocating a map or slice on every
+// iteration, building strings by concatenation in a loop, and fmt.Sprintf
+// calls that a strconv function replaces. Where the element bound is
+// evident (a range loop over a measurable collection), the append finding
+// carries an auto-fix that preallocates with make([]T, 0, n).
+//
+// Spread appends (append(x, ys...)) are deliberately not flagged: bulk
+// concatenation amortizes growth by doubling and is the idiomatic way to
+// merge slices.
+var AnalyzerHotAlloc = &Analyzer{
+	Name:          "hotalloc",
+	Doc:           "reports un-preallocated appends, per-iteration allocations, string concatenation, and Sprintf-where-strconv-suffices in hot-path loops",
+	Run:           runHotAlloc,
+	UsesCallGraph: true,
+}
+
+// bareDecl describes a slice variable declared without capacity.
+type bareDecl struct {
+	// stmt is the declaring statement (DeclStmt for `var x []T`, nil when
+	// the form does not support the prealloc fix).
+	stmt *ast.DeclStmt
+	// typeExpr is the slice type for rendering the fix.
+	typeExpr ast.Expr
+	// inLoop records whether the declaration itself sits inside a loop
+	// (then per-iteration appends to it are expected).
+	inLoop bool
+}
+
+func runHotAlloc(p *Pass) {
+	forEachHotFunc(p, func(fd *ast.FuncDecl) {
+		decls := bareSliceDecls(p, fd.Body)
+		fixed := make(map[*types.Var]bool)
+
+		hotWalk(fd.Body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(loops) > 0 {
+					checkHotAppend(p, n, loops, decls, fixed)
+					checkPerIterAlloc(p, n, loops, stack)
+					checkStringConcat(p, n)
+				}
+			case *ast.CallExpr:
+				checkSprintf(p, n)
+			}
+			return true
+		})
+	})
+}
+
+// bareSliceDecls indexes the function's slice variables declared with no
+// capacity: `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func bareSliceDecls(p *Pass, body *ast.BlockStmt) map[*types.Var]bareDecl {
+	decls := make(map[*types.Var]bareDecl)
+	hotWalk(body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+				return true
+			}
+			spec, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok || len(spec.Names) != 1 || len(spec.Values) != 0 {
+				return true
+			}
+			at, ok := spec.Type.(*ast.ArrayType)
+			if !ok || at.Len != nil {
+				return true
+			}
+			if v := objOf(p, spec.Names[0]); v != nil {
+				decls[v] = bareDecl{stmt: n, typeExpr: spec.Type, inLoop: len(loops) > 0}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if !isBareSliceValue(p, n.Rhs[0]) {
+				return true
+			}
+			if v := objOf(p, id); v != nil {
+				decls[v] = bareDecl{inLoop: len(loops) > 0}
+			}
+		}
+		return true
+	})
+	return decls
+}
+
+// isBareSliceValue recognizes `[]T{}` and `make([]T, 0)` — a slice born
+// with zero capacity.
+func isBareSliceValue(p *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if len(e.Elts) != 0 {
+			return false
+		}
+		_, ok := types.Unalias(p.TypeOf(e)).(*types.Slice)
+		return ok
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if _, ok := types.Unalias(p.TypeOf(e)).(*types.Slice); !ok {
+			return false
+		}
+		lit, ok := e.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+// checkHotAppend flags `x = append(x, elem)` in a loop when x was declared
+// bare outside every loop: the slice regrows element by element on the hot
+// path. When the loop bound is evident, the finding carries a prealloc fix.
+func checkHotAppend(p *Pass, as *ast.AssignStmt, loops []ast.Stmt, decls map[*types.Var]bareDecl, fixed map[*types.Var]bool) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || call.Ellipsis != token.NoPos || len(call.Args) < 2 {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := objOf(p, id)
+	if v == nil || objOf(p, arg0) != v {
+		return
+	}
+	d, declared := decls[v]
+	if !declared || d.inLoop {
+		return
+	}
+	msg := "append to %s grows an unpreallocated slice inside a hot loop; preallocate with make([]%s, 0, n) or reuse scratch"
+	elem := sliceElemString(p, v)
+	if fix, ok := preallocFix(p, d, loops); ok && !fixed[v] {
+		fixed[v] = true
+		p.ReportFixf(as.Pos(), fix, msg, id.Name, elem)
+		return
+	}
+	p.Reportf(as.Pos(), msg, id.Name, elem)
+}
+
+// preallocFix builds the `var x []T` -> `x := make([]T, 0, bound)` edit
+// when the declaration has the fixable form and the outermost loop's bound
+// is evident: a range over a sliceable/measurable expression (len(E)) or
+// over an integer (E itself).
+func preallocFix(p *Pass, d bareDecl, loops []ast.Stmt) (SuggestedFix, bool) {
+	if d.stmt == nil {
+		return SuggestedFix{}, false
+	}
+	rs, ok := loops[0].(*ast.RangeStmt)
+	if !ok || rs.Pos() < d.stmt.Pos() {
+		return SuggestedFix{}, false
+	}
+	if exprKey(rs.X) == "" {
+		return SuggestedFix{}, false // calls/literals: not safely repeatable
+	}
+	var bound string
+	switch t := types.Unalias(p.TypeOf(rs.X)).Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map, *types.Pointer:
+		bound = "len(" + renderNode(p.Fset, rs.X) + ")"
+	case *types.Basic:
+		if t.Info()&types.IsInteger == 0 {
+			return SuggestedFix{}, false
+		}
+		bound = renderNode(p.Fset, rs.X) // for range n
+	default:
+		return SuggestedFix{}, false // channels, func iterators: no bound
+	}
+	spec := d.stmt.Decl.(*ast.GenDecl).Specs[0].(*ast.ValueSpec)
+	name := spec.Names[0].Name
+	typeText := renderNode(p.Fset, d.typeExpr)
+	if typeText == "" || bound == "" {
+		return SuggestedFix{}, false
+	}
+	newText := fmt.Sprintf("%s := make(%s, 0, %s)", name, typeText, bound)
+	return SuggestedFix{
+		Message: fmt.Sprintf("preallocate: %s", newText),
+		Edits:   []FixEdit{p.EditRange(d.stmt.Pos(), d.stmt.End(), newText)},
+	}, true
+}
+
+// checkPerIterAlloc flags re-assigning a fresh map/slice allocation to a
+// pre-existing variable (plain =, so it outlives the iteration) on every
+// pass of a hot loop. The unconditional requirement spares amortized
+// grow-on-demand patterns (`if cap(buf) < n { buf = make(...) }`).
+func checkPerIterAlloc(p *Pass, as *ast.AssignStmt, loops []ast.Stmt, stack []ast.Node) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if _, ok := as.Lhs[0].(*ast.Ident); !ok {
+		return
+	}
+	kind := allocKind(p, as.Rhs[0])
+	if kind == "" {
+		return
+	}
+	if !unconditionalInLoop(stack, loops) {
+		return
+	}
+	p.Reportf(as.Pos(), "%s re-allocated on every iteration of a hot loop; hoist the allocation and clear/reuse it instead", kind)
+}
+
+// allocKind recognizes make(map/slice) and map/slice composite literals.
+func allocKind(p *Pass, e ast.Expr) string {
+	var t types.Type
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		t = p.TypeOf(e)
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return ""
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return ""
+		}
+		t = p.TypeOf(e)
+	default:
+		return ""
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return ""
+}
+
+// checkStringConcat flags building strings by concatenation in a loop.
+func checkStringConcat(p *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if t := p.TypeOf(as.Lhs[0]); t == nil || !isString(t) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		p.Reportf(as.Pos(), "string += in a hot loop is quadratic; use strings.Builder")
+	case token.ASSIGN:
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || be.Op != token.ADD {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := objOf(p, id)
+		if v == nil {
+			return
+		}
+		if dependsOnVars(p, be, map[*types.Var]bool{v: true}) {
+			p.Reportf(as.Pos(), "string self-concatenation in a hot loop is quadratic; use strings.Builder")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sprintfStrconv maps a lone Sprintf verb to the strconv (or plainer)
+// replacement, keyed by verb then by a coarse argument-type class.
+var sprintfStrconv = map[string]map[string]string{
+	"%d": {"int": "strconv.Itoa / strconv.FormatInt"},
+	"%t": {"bool": "strconv.FormatBool"},
+	"%f": {"float": "strconv.FormatFloat"},
+	"%g": {"float": "strconv.FormatFloat"},
+	"%s": {"string": "the argument itself (it is already a string)"},
+	"%v": {
+		"string": "the argument itself (it is already a string)",
+		"int":    "strconv.Itoa / strconv.FormatInt",
+		"bool":   "strconv.FormatBool",
+		"float":  "strconv.FormatFloat",
+	},
+	"%x": {"int": "strconv.FormatInt(v, 16)"},
+}
+
+// checkSprintf flags fmt.Sprintf calls whose format is a single bare verb
+// with a strconv-expressible argument — an allocation plus reflection where
+// a direct conversion suffices. Applies anywhere in a hot function: Sprintf
+// costs even once per call.
+func checkSprintf(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" || len(call.Args) != 2 {
+		return
+	}
+	pn := p.PkgNameOf(sel.X)
+	if pn == nil || pn.Imported().Path() != "fmt" {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	verb := strings.Trim(lit.Value, "`\"")
+	byClass, ok := sprintfStrconv[verb]
+	if !ok {
+		return
+	}
+	repl, ok := byClass[typeClass(p.TypeOf(call.Args[1]))]
+	if !ok {
+		return
+	}
+	p.Reportf(call.Pos(), "fmt.Sprintf(%s, ...) on the hot path; use %s", lit.Value, repl)
+}
+
+// typeClass buckets a type for the Sprintf replacement table.
+func typeClass(t types.Type) string {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&types.IsString != 0:
+		return "string"
+	case b.Info()&types.IsBoolean != 0:
+		return "bool"
+	case b.Info()&types.IsInteger != 0:
+		return "int"
+	case b.Info()&types.IsFloat != 0:
+		return "float"
+	}
+	return ""
+}
+
+// sliceElemString renders the element type of v's slice type for messages.
+func sliceElemString(p *Pass, v *types.Var) string {
+	if s, ok := types.Unalias(v.Type()).Underlying().(*types.Slice); ok {
+		return types.TypeString(s.Elem(), types.RelativeTo(p.Pkg))
+	}
+	return "T"
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerHotClock reports clock reads inside loops of hot-reachable
+// functions: time.Now (and the rest of the wallclock family) and
+// stopwatch.Start cost a vDSO call per element when read per iteration —
+// meter once per call, not once per element. This complements the
+// wallclock analyzer: wallclock bans machine time outright in
+// simulation-time packages; hotclock polices the *rate* of clock reads in
+// packages where the clock is allowed but the loop is hot.
+var AnalyzerHotClock = &Analyzer{
+	Name:          "hotclock",
+	Doc:           "reports per-element clock reads (time.Now, stopwatch.Start) inside hot-path loops",
+	Run:           runHotClock,
+	UsesCallGraph: true,
+}
+
+func runHotClock(p *Pass) {
+	forEachHotFunc(p, func(fd *ast.FuncDecl) {
+		hotWalk(fd.Body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || len(loops) == 0 {
+				return true
+			}
+			pn := p.PkgNameOf(sel.X)
+			if pn == nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "time.%s inside a hot loop reads the clock per element; read it once outside the loop", sel.Sel.Name)
+				}
+			case "pdr/internal/stopwatch":
+				if sel.Sel.Name == "Start" {
+					p.Reportf(sel.Pos(), "stopwatch.Start inside a hot loop meters per element; start one stopwatch around the loop")
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerHotDefer reports defer statements inside loops of hot-reachable
+// functions: each iteration pushes a new deferred call that only runs when
+// the whole function returns, so a hot loop both pays the per-defer cost
+// and accumulates an unbounded defer stack (a Lock/defer-Unlock pair in a
+// loop additionally holds every lock until return). The adjacent
+// `x.Lock(); defer x.Unlock()` shape, when the mutex does not depend on
+// the loop variables, carries an auto-fix that hoists the pair above the
+// loop.
+var AnalyzerHotDefer = &Analyzer{
+	Name:          "hotdefer",
+	Doc:           "reports defer inside hot-path loops (per-iteration defer cost, unbounded defer stack)",
+	Run:           runHotDefer,
+	UsesCallGraph: true,
+}
+
+func runHotDefer(p *Pass) {
+	forEachHotFunc(p, func(fd *ast.FuncDecl) {
+		hotWalk(fd.Body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+			ds, ok := n.(*ast.DeferStmt)
+			if !ok || len(loops) == 0 {
+				return true
+			}
+			if fix, ok := deferHoistFix(p, ds, loops, stack); ok {
+				p.ReportFixf(ds.Pos(), fix, "defer inside a hot loop runs only at function return; hoist the Lock/defer-Unlock pair above the loop")
+				return true
+			}
+			p.Reportf(ds.Pos(), "defer inside a hot loop runs only at function return and costs per iteration; restructure (extract the body into a function, or release resources explicitly)")
+			return true
+		})
+	})
+}
+
+// deferHoistFix recognizes the hoistable shape: the defer is a mutex
+// Unlock/RUnlock immediately preceded by the matching Lock/RLock, both
+// direct statements of the innermost loop's body, with a mutex expression
+// that does not depend on any loop-bound variable. The fix deletes the
+// pair from the loop body and re-inserts it before the outermost loop the
+// pair is invariant in (here: the innermost loop, the conservative choice).
+func deferHoistFix(p *Pass, ds *ast.DeferStmt, loops []ast.Stmt, stack []ast.Node) (SuggestedFix, bool) {
+	unlockOp, ok := mutexOpOf(p, ds.Call)
+	if !ok || (unlockOp.name != "Unlock" && unlockOp.name != "RUnlock") {
+		return SuggestedFix{}, false
+	}
+	inner := loops[len(loops)-1]
+	var body *ast.BlockStmt
+	switch l := inner.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	// Both statements must sit directly in the loop body, adjacent, Lock
+	// first.
+	if len(stack) == 0 || stack[len(stack)-1] != ast.Node(body) {
+		return SuggestedFix{}, false
+	}
+	var lockStmt *ast.ExprStmt
+	for i, s := range body.List {
+		if s != ast.Stmt(ds) || i == 0 {
+			continue
+		}
+		es, ok := body.List[i-1].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		lockOp, ok := mutexOpOf(p, call)
+		if !ok || lockOp.key != unlockOp.key {
+			continue
+		}
+		if (lockOp.name == "Lock" && unlockOp.name == "Unlock") ||
+			(lockOp.name == "RLock" && unlockOp.name == "RUnlock") {
+			lockStmt = es
+		}
+		break
+	}
+	if lockStmt == nil {
+		return SuggestedFix{}, false
+	}
+	// The mutex must be loop-invariant: independent of every variable any
+	// enclosing loop binds per iteration.
+	sel := ds.Call.Fun.(*ast.SelectorExpr) // shape guaranteed by mutexOpOf
+	if dependsOnVars(p, sel.X, loopBoundVars(p, loops)) {
+		return SuggestedFix{}, false
+	}
+	// The pair must be the loop body's only use of this mutex — hoisting
+	// next to another acquisition of the same mutex would self-deadlock.
+	ops := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if op, ok := mutexOpOf(p, call); ok && op.key == unlockOp.key {
+				ops++
+			}
+		}
+		return true
+	})
+	if ops != 2 {
+		return SuggestedFix{}, false
+	}
+	lockText := renderNode(p.Fset, lockStmt)
+	deferText := renderNode(p.Fset, ds)
+	if lockText == "" || deferText == "" {
+		return SuggestedFix{}, false
+	}
+	return SuggestedFix{
+		Message: "hoist " + lockText + " and " + deferText + " above the loop",
+		Edits: []FixEdit{
+			p.EditRange(inner.Pos(), inner.Pos(), lockText+"\n"+deferText+"\n"),
+			p.EditRange(lockStmt.Pos(), ds.End(), ""),
+		},
+	}, true
+}

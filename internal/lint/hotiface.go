@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHotIface reports interface boxing at call boundaries inside loops
+// of hot-reachable functions: passing a concrete non-pointer value where
+// the callee takes an interface (including variadic ...any) converts —
+// and usually heap-allocates — the value once per iteration. Pointers,
+// channels, funcs and maps are exempt: their interface representation is
+// the reference word itself, no allocation. It also flags sort.Slice and
+// friends anywhere in a hot function, where the any-boxing plus
+// closure-calling comparator loses to the generic slices.SortFunc.
+var AnalyzerHotIface = &Analyzer{
+	Name:          "hotiface",
+	Doc:           "reports per-iteration interface boxing at hot call boundaries and reflection-based sort.Slice in hot functions",
+	Run:           runHotIface,
+	UsesCallGraph: true,
+}
+
+// reflectionSorts are the sort-package entry points that box the slice into
+// an any / interface and compare through reflection or interface calls.
+var reflectionSorts = map[string]string{
+	"Slice":         "slices.SortFunc",
+	"SliceStable":   "slices.SortStableFunc",
+	"SliceIsSorted": "slices.IsSortedFunc",
+}
+
+func runHotIface(p *Pass) {
+	forEachHotFunc(p, func(fd *ast.FuncDecl) {
+		hotWalk(fd.Body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if checkReflectionSort(p, call) {
+				return true
+			}
+			if len(loops) > 0 {
+				checkBoxedArgs(p, call)
+			}
+			return true
+		})
+	})
+}
+
+// checkReflectionSort flags sort.Slice-family calls in hot functions.
+func checkReflectionSort(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	repl, ok := reflectionSorts[sel.Sel.Name]
+	if !ok {
+		return false
+	}
+	pn := p.PkgNameOf(sel.X)
+	if pn == nil || pn.Imported().Path() != "sort" {
+		return false
+	}
+	p.Reportf(call.Pos(), "sort.%s boxes the slice into any and compares through an interface; use %s on the hot path", sel.Sel.Name, repl)
+	return true
+}
+
+// checkBoxedArgs flags concrete values converted to interface parameters at
+// a call site inside a hot loop.
+func checkBoxedArgs(p *Pass, call *ast.CallExpr) {
+	sig := callSignature(p, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || !boxingAllocates(at) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "%s boxed into %s on every iteration of a hot loop; keep the callee concrete or hoist the conversion",
+			types.TypeString(at, types.RelativeTo(p.Pkg)), types.TypeString(pt, types.RelativeTo(p.Pkg)))
+	}
+}
+
+// callSignature resolves the signature of a non-builtin, non-conversion
+// call.
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return nil
+		}
+	}
+	t := p.TypeOf(fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := types.Unalias(t).Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the declared type of argument i, unwrapping the
+// variadic tail (unless the call spreads with ...).
+func paramTypeAt(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis.IsValid() {
+			return nil // spread: no per-element boxing at this site
+		}
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := types.Unalias(last).Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// boxingAllocates reports whether converting a value of type t to an
+// interface stores more than a pointer-sized word — the conversions that
+// can heap-allocate per element. Reference types ride in the data word.
+func boxingAllocates(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerHotLock reports mutex acquisitions inside loops of hot-reachable
+// functions when the acquisition is hoistable: it runs unconditionally on
+// every iteration and the mutex expression does not depend on any
+// loop-bound variable, so one acquisition around the loop buys the same
+// exclusion for a fraction of the lock traffic. Conditional acquisitions
+// and per-element locks (shard[i].mu) are left alone — those are the
+// patterns fine-grained locking exists for.
+var AnalyzerHotLock = &Analyzer{
+	Name:          "hotlock",
+	Doc:           "reports hoistable mutex Lock/RLock acquired on every iteration of a hot-path loop",
+	Run:           runHotLock,
+	UsesCallGraph: true,
+}
+
+func runHotLock(p *Pass) {
+	forEachHotFunc(p, func(fd *ast.FuncDecl) {
+		hotWalk(fd.Body, func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(loops) == 0 {
+				return true
+			}
+			op, ok := mutexOpOf(p, call)
+			if !ok || (op.name != "Lock" && op.name != "RLock") {
+				return true
+			}
+			if !unconditionalInLoop(stack, loops) {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr) // shape guaranteed by mutexOpOf
+			if dependsOnVars(p, sel.X, loopBoundVars(p, loops)) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s.%s on every iteration of a hot loop; the mutex is loop-invariant — acquire it once around the loop", op.key, op.name)
+			return true
+		})
+	})
+}

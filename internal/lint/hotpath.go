@@ -1,0 +1,174 @@
+package lint
+
+// Shared traversal machinery for the hotpath analyzer family (hotalloc,
+// hotdefer, hotlock, hotiface, hotclock). These analyzers report only in
+// functions reachable from a `// pdr:hot` root (Pass.Graph, built by
+// internal/lint/callgraph), and most of their rules key on *loop depth*:
+// code that runs once per call is fine, the same code once per element is
+// a finding.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+)
+
+// forEachHotFunc calls fn for every declared function of the pass that is
+// reachable from a pdr:hot root. No-op when the pass has no call graph.
+func forEachHotFunc(p *Pass, fn func(*ast.FuncDecl)) {
+	if p.Graph == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && p.HotFunc(fd) {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// hotWalk traverses body pre-order, reporting for every node the enclosing
+// loop statements (outermost first, innermost last) and the full ancestor
+// stack (root first, n excluded). Loop depth counts only loops whose *body*
+// encloses the node — a range expression or for-init runs once, not per
+// iteration. Function-literal bodies restart at depth zero: a closure body
+// runs per invocation of the closure, not per iteration of the loop that
+// created it (and the call graph already marks the literal hot through its
+// encloser). visit returning false prunes the subtree.
+func hotWalk(body ast.Node, visit func(n ast.Node, loops []ast.Stmt, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		loops := enclosingLoops(stack, n)
+		if !visit(n, loops, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingLoops extracts from the ancestor stack the loops whose body the
+// path to n runs through, stopping at the innermost function literal.
+func enclosingLoops(stack []ast.Node, n ast.Node) []ast.Stmt {
+	var loops []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			break
+		}
+		next := n
+		if i+1 < len(stack) {
+			next = stack[i+1]
+		}
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			if next == ast.Node(s.Body) {
+				loops = append([]ast.Stmt{s}, loops...)
+			}
+		case *ast.RangeStmt:
+			if next == ast.Node(s.Body) {
+				loops = append([]ast.Stmt{s}, loops...)
+			}
+		}
+	}
+	return loops
+}
+
+// loopBoundVars collects the variables bound per-iteration by the given
+// loops: range key/value identifiers and for-init defined variables.
+func loopBoundVars(p *Pass, loops []ast.Stmt) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	addDef := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := p.Info.Defs[id].(*types.Var); ok {
+			vars[v] = true
+		}
+		// Range/assign forms reusing an existing variable (Uses, not Defs):
+		// the variable still changes per iteration.
+		if v, ok := p.Info.Uses[id].(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.RangeStmt:
+			if l.Key != nil {
+				addDef(l.Key)
+			}
+			if l.Value != nil {
+				addDef(l.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					addDef(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// dependsOnVars reports whether e mentions any of the given variables.
+func dependsOnVars(p *Pass, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unconditionalInLoop reports whether the path from the innermost enclosing
+// loop to n (per the ancestor stack) crosses no conditional construct — an
+// operation that runs on *every* iteration, which is what makes hoisting it
+// a pure win.
+func unconditionalInLoop(stack []ast.Node, loops []ast.Stmt) bool {
+	if len(loops) == 0 {
+		return false
+	}
+	inner := loops[len(loops)-1]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(inner) {
+			return true
+		}
+		switch stack[i].(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.CaseClause, *ast.CommClause, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// renderNode formats an AST node back to source text (for fix edits; the
+// result's indentation is normalized by the post-fix gofmt pass).
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// objOf resolves an identifier to its variable object (definition or use).
+func objOf(p *Pass, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info.Uses[id].(*types.Var)
+	return v
+}

@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The hotpath analyzers report only in functions reachable from a pdr:hot
+// root; every fixture declares its own root. Cold twins of each pattern
+// pin the reachability gate.
+
+func TestHotAllocAppendInLoop(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(points []float64) []float64 {
+	var out []float64
+	for _, p := range points {
+		out = append(out, p*2)
+	}
+	return out
+}
+
+func Cold(points []float64) []float64 {
+	var out []float64
+	for _, p := range points {
+		out = append(out, p*2)
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+	if len(diags[0].Fixes) != 1 {
+		t.Fatalf("append finding should carry a prealloc fix, got %d", len(diags[0].Fixes))
+	}
+	fix := diags[0].Fixes[0]
+	if !strings.Contains(fix.Message, "make([]float64, 0, len(points))") {
+		t.Errorf("fix message = %q, want make([]float64, 0, len(points))", fix.Message)
+	}
+	if len(fix.Edits) != 1 || fix.Edits[0].NewText != "out := make([]float64, 0, len(points))" {
+		t.Errorf("fix edits = %+v", fix.Edits)
+	}
+}
+
+func TestHotAllocAppendIntRangeBound(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(n int) []int {
+	var out []int
+	for i := range n {
+		out = append(out, i)
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+	if len(diags[0].Fixes) != 1 || !strings.Contains(diags[0].Fixes[0].Message, "make([]int, 0, n)") {
+		t.Errorf("want int-range bound fix, got %+v", diags[0].Fixes)
+	}
+}
+
+func TestHotAllocSpreadAppendNotFlagged(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(chunks [][]int) []int {
+	var out []int
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestHotAllocPreallocatedNotFlagged(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(points []float64) []float64 {
+	out := make([]float64, 0, len(points))
+	for _, p := range points {
+		out = append(out, p*2)
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "", 0)
+}
+
+func TestHotAllocPerIterationMap(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(keys []string) int {
+	var seen map[string]bool
+	total := 0
+	for _, k := range keys {
+		seen = make(map[string]bool)
+		seen[k] = true
+		total += len(seen)
+	}
+	return total
+}
+
+// pdr:hot
+func GrowOnDemand(sizes []int) []byte {
+	var buf []byte
+	n := 0
+	for _, s := range sizes {
+		if cap(buf) < s {
+			buf = make([]byte, s)
+		}
+		n += len(buf[:s])
+	}
+	return buf[:n%8]
+}
+`, AnalyzerHotAlloc)
+	// The conditional grow-on-demand pattern must not be flagged.
+	wantFindings(t, diags, "hotalloc", 1)
+	if !strings.Contains(diags[0].Message, "map re-allocated") {
+		t.Errorf("message = %q, want per-iteration map wording", diags[0].Message)
+	}
+}
+
+func TestHotAllocStringConcat(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Hot(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+	if !strings.Contains(diags[0].Message, "strings.Builder") {
+		t.Errorf("message = %q, want strings.Builder suggestion", diags[0].Message)
+	}
+}
+
+func TestHotAllocSprintfWhereStrconvSuffices(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "fmt"
+
+// pdr:hot
+func Hot(id int, name string) string {
+	a := fmt.Sprintf("%d", id)       // strconv.Itoa
+	b := fmt.Sprintf("%s", name)     // already a string
+	c := fmt.Sprintf("%d/%s", id, a) // real formatting: not flagged
+	return a + b + c
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 2)
+}
+
+func TestHotDeferInLoop(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "sync"
+
+type store struct{ mu sync.Mutex }
+
+// pdr:hot
+func Hot(s *store, keys []string) {
+	for range keys {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+}
+`, AnalyzerHotDefer)
+	wantFindings(t, diags, "hotdefer", 1)
+	if len(diags[0].Fixes) != 1 {
+		t.Fatalf("adjacent Lock/defer-Unlock should carry a hoist fix, got %d", len(diags[0].Fixes))
+	}
+	if !strings.Contains(diags[0].Fixes[0].Message, "hoist") {
+		t.Errorf("fix message = %q, want hoist wording", diags[0].Fixes[0].Message)
+	}
+}
+
+func TestHotDeferPerElementMutexNoFix(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+
+// pdr:hot
+func Hot(shards []shard) {
+	for i := range shards {
+		shards[i].mu.Lock()
+		defer shards[i].mu.Unlock()
+	}
+}
+`, AnalyzerHotDefer)
+	// Still a finding (defer stack grows per shard), but the mutex depends
+	// on the loop variable: no hoist fix.
+	wantFindings(t, diags, "hotdefer", 1)
+	if len(diags[0].Fixes) != 0 {
+		t.Errorf("loop-dependent mutex must not get a hoist fix: %+v", diags[0].Fixes)
+	}
+}
+
+func TestHotLockHoistable(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "sync"
+
+type reg struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// pdr:hot
+func Hot(r *reg, keys []string) int {
+	total := 0
+	for range keys {
+		r.mu.RLock()
+		total += r.n
+		r.mu.RUnlock()
+	}
+	return total
+}
+
+// pdr:hot
+func PerShard(shards []reg) int {
+	total := 0
+	for i := range shards {
+		shards[i].mu.RLock()
+		total += shards[i].n
+		shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// pdr:hot
+func Conditional(r *reg, keys []string) int {
+	total := 0
+	for i := range keys {
+		if i%2 == 0 {
+			r.mu.RLock()
+			total += r.n
+			r.mu.RUnlock()
+		}
+	}
+	return total
+}
+`, AnalyzerHotLock)
+	// Only the loop-invariant unconditional acquisition is hoistable.
+	wantFindings(t, diags, "hotlock", 1)
+	if !strings.Contains(diags[0].Message, "r.mu.RLock") {
+		t.Errorf("message = %q, want the invariant r.mu acquisition", diags[0].Message)
+	}
+}
+
+func TestHotIfaceBoxingInLoop(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+func sink(v any) {}
+
+type pt struct{ x, y float64 }
+
+// pdr:hot
+func Hot(points []pt) {
+	for _, p := range points {
+		sink(p) // struct boxed per element
+	}
+	for i := range points {
+		sink(&points[i]) // pointer: no allocation, not flagged
+	}
+}
+`, AnalyzerHotIface)
+	wantFindings(t, diags, "hotiface", 1)
+	if !strings.Contains(diags[0].Message, "boxed into") {
+		t.Errorf("message = %q, want boxing wording", diags[0].Message)
+	}
+}
+
+func TestHotIfaceSortSlice(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "sort"
+
+// pdr:hot
+func Hot(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func Cold(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+`, AnalyzerHotIface)
+	wantFindings(t, diags, "hotiface", 1)
+	if !strings.Contains(diags[0].Message, "slices.SortFunc") {
+		t.Errorf("message = %q, want slices.SortFunc suggestion", diags[0].Message)
+	}
+}
+
+func TestHotClockPerElement(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+import "time"
+
+// pdr:hot
+func Hot(keys []string) time.Duration {
+	var total time.Duration
+	start := time.Now() // once per call: fine
+	for range keys {
+		total += time.Since(start) // per element: flagged
+	}
+	return total
+}
+`, AnalyzerHotClock)
+	wantFindings(t, diags, "hotclock", 1)
+	if !strings.Contains(diags[0].Message, "time.Since") {
+		t.Errorf("message = %q, want time.Since wording", diags[0].Message)
+	}
+}
+
+func TestHotReachabilityCrossesCalls(t *testing.T) {
+	// The root has no loop itself; the finding is in a transitively
+	// reached helper, proving analyzers consult the call graph rather
+	// than the annotation alone.
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Entry(points []float64) []float64 { return transform(points) }
+
+func transform(points []float64) []float64 {
+	var out []float64
+	for _, p := range points {
+		out = append(out, p*2)
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+}
+
+func TestHotClosureInheritsHeat(t *testing.T) {
+	// A closure created by a hot function is hot; loop depth restarts
+	// inside it (the closure body runs per invocation, not per iteration
+	// of the loop that created it).
+	diags := analyze(t, "pdr/internal/x", `package x
+
+// pdr:hot
+func Entry(parts [][]float64, run func(func(int))) []float64 {
+	out := make([]float64, 0, len(parts))
+	run(func(i int) {
+		var local []float64
+		for _, v := range parts[i] {
+			local = append(local, v) // hot closure, loop inside it: flagged
+		}
+		out = append(out, local...) // closure depth 0: not flagged
+	})
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+}

@@ -9,21 +9,28 @@ import (
 // pdrvet -json as one object per line (JSON Lines): stable field names for
 // CI annotators, independent of the human format's punctuation.
 type JSONDiagnostic struct {
+	Pkg      string `json:"pkg,omitempty"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Fixes carries the machine-applicable suggested fixes, byte-offset
+	// edits included, so CI tooling can apply or display them without
+	// re-running the analyzers.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
 }
 
 // toJSON converts a Diagnostic to its wire shape.
 func toJSON(d Diagnostic) JSONDiagnostic {
 	return JSONDiagnostic{
+		Pkg:      d.Pkg,
 		File:     d.Pos.Filename,
 		Line:     d.Pos.Line,
 		Col:      d.Pos.Column,
 		Analyzer: d.Analyzer,
 		Message:  d.Message,
+		Fixes:    d.Fixes,
 	}
 }
 

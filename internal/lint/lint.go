@@ -21,13 +21,20 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"pdr/internal/lint/callgraph"
 )
 
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
-	Pos      token.Position
-	Message  string
+	// Pkg is the import path of the package the finding is in; it leads the
+	// sort key so output order is stable across multi-package runs.
+	Pkg     string
+	Pos     token.Position
+	Message string
+	// Fixes are optional machine-applicable suggested fixes (pdrvet -fix).
+	Fixes []SuggestedFix
 }
 
 // String formats the finding as file:line:col: [analyzer] message.
@@ -43,6 +50,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// UsesCallGraph requests Pass.Graph: the module call graph with pdr:hot
+	// reachability, built once per Run over all loaded packages.
+	UsesCallGraph bool
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -55,6 +65,10 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Graph is the module call graph; non-nil only for analyzers that set
+	// UsesCallGraph. It spans every package of the run, so hot reachability
+	// crosses package boundaries.
+	Graph *callgraph.Graph
 
 	diags *[]Diagnostic
 }
@@ -63,9 +77,40 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Pkg:      p.Path,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportFixf records a finding at pos carrying a machine-applicable
+// suggested fix (applied by pdrvet -fix).
+func (p *Pass) ReportFixf(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pkg:      p.Path,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// EditRange builds a FixEdit replacing the source range [start, end) with
+// newText, converting the AST positions to byte offsets.
+func (p *Pass) EditRange(start, end token.Pos, newText string) FixEdit {
+	sp := p.Fset.Position(start)
+	ep := p.Fset.Position(end)
+	return FixEdit{File: sp.Filename, Start: sp.Offset, End: ep.Offset, NewText: newText}
+}
+
+// HotFunc reports whether decl is reachable from a pdr:hot root. False when
+// the pass has no call graph.
+func (p *Pass) HotFunc(decl *ast.FuncDecl) bool {
+	if p.Graph == nil {
+		return false
+	}
+	fn, _ := p.Info.Defs[decl.Name].(*types.Func)
+	return fn != nil && p.Graph.HotFunc(fn)
 }
 
 // TypeOf returns the type of e, or nil if the checker recorded none.
@@ -103,6 +148,11 @@ func All() []*Analyzer {
 		AnalyzerDeferUnlock,
 		AnalyzerAtomicMix,
 		AnalyzerNoLeak,
+		AnalyzerHotAlloc,
+		AnalyzerHotDefer,
+		AnalyzerHotLock,
+		AnalyzerHotIface,
+		AnalyzerHotClock,
 		AnalyzerDirective,
 	}
 }
@@ -135,8 +185,15 @@ func Names() []string {
 }
 
 // Run applies the analyzers to every package and returns the surviving
-// findings sorted by position, with lint:ignore suppression applied.
+// findings in deterministic order, with lint:ignore suppression applied.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var graph *callgraph.Graph
+	for _, a := range analyzers {
+		if a.UsesCallGraph {
+			graph = BuildGraph(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		var pkgDiags []Diagnostic
@@ -150,12 +207,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				diags:    &pkgDiags,
 			}
+			if a.UsesCallGraph {
+				pass.Graph = graph
+			}
 			a.Run(pass)
 		}
 		diags = append(diags, applyIgnores(pkg, analyzers, pkgDiags)...)
 	}
+	sortDiags(diags)
+	return diags
+}
+
+// sortDiags orders findings by (package, file, line, col, analyzer,
+// message) so repeated runs and CI diffs are byte-stable regardless of
+// package load order or analyzer scheduling.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -165,9 +236,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+}
+
+// BuildGraph constructs the module call graph over the loaded packages —
+// the reachability substrate of the hot-path analyzers and `pdrvet -graph`.
+func BuildGraph(pkgs []*Package) *callgraph.Graph {
+	if len(pkgs) == 0 {
+		return callgraph.Build(token.NewFileSet(), nil)
+	}
+	units := make([]callgraph.Unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, callgraph.Unit{
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		})
+	}
+	return callgraph.Build(pkgs[0].Fset, units)
 }
 
 // ignoreDirective is one parsed lint:ignore comment.
@@ -192,12 +283,23 @@ func (d ignoreDirective) matches(a, file string, l int) bool {
 
 const ignorePrefix = "lint:ignore"
 
-// applyIgnores drops diagnostics covered by a well-formed ignore directive,
-// adds a finding for every malformed one (missing reason), and — when every
-// analyzer a directive names was part of this run — reports directives that
-// suppressed nothing as stale (analyzer "directive"), so dead ignores
-// cannot outlive the finding they excused.
+// applyIgnores drops diagnostics covered by a well-formed ignore directive.
+// When the directive analyzer itself is part of the run, it additionally
+// adds a finding for every malformed directive (missing reason) and — when
+// every analyzer a directive names was also part of this run — reports
+// directives that suppressed nothing as stale, so dead ignores cannot
+// outlive the finding they excused. Under `-only` runs that exclude
+// "directive", suppression still applies but no directive findings are
+// synthesized: a partial run cannot decide that an ignore is dead, and its
+// findings must never be labeled with an analyzer the user didn't select.
 func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	directiveRan := false
+	for _, a := range analyzers {
+		if a.Name == AnalyzerDirective.Name {
+			directiveRan = true
+			break
+		}
+	}
 	var directives []ignoreDirective
 	var malformed []Diagnostic
 	for _, f := range pkg.Files {
@@ -211,11 +313,14 @@ func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 				fields := strings.Fields(rest)
 				line := pkg.Fset.Position(c.Pos()).Line
 				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "directive",
-						Pos:      pkg.Fset.Position(c.Pos()),
-						Message:  "malformed lint:ignore: want \"lint:ignore <analyzer> <reason>\" with a non-empty reason",
-					})
+					if directiveRan {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: AnalyzerDirective.Name,
+							Pkg:      pkg.Path,
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Message:  "malformed lint:ignore: want \"lint:ignore <analyzer> <reason>\" with a non-empty reason",
+						})
+					}
 					continue
 				}
 				d := ignoreDirective{
@@ -260,11 +365,12 @@ func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 		}
 	}
 	for i, d := range directives {
-		if used[i] || !staleDecidable(d, ran, fullSuite) {
+		if used[i] || !directiveRan || !staleDecidable(d, ran, fullSuite) {
 			continue
 		}
 		out = append(out, Diagnostic{
-			Analyzer: "directive",
+			Analyzer: AnalyzerDirective.Name,
+			Pkg:      pkg.Path,
 			Pos:      pkg.Fset.Position(d.pos),
 			Message:  "stale lint:ignore: no finding from the named analyzers on this line; delete the directive",
 		})

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -519,7 +520,7 @@ func TestMalformedIgnoreDirective(t *testing.T) {
 func f(a, b float64) bool {
 	return a == b // lint:ignore floateq
 }
-`, AnalyzerFloatEq)
+`, AnalyzerFloatEq, AnalyzerDirective)
 	// The reason-less directive does not suppress, and is itself reported.
 	var directive, floateq int
 	for _, d := range diags {
@@ -533,6 +534,18 @@ func f(a, b float64) bool {
 	if directive != 1 || floateq != 1 {
 		t.Fatalf("got %d directive + %d floateq findings, want 1 + 1:\n%v", directive, floateq, diags)
 	}
+}
+
+func TestMalformedIgnoreSilentWithoutDirectiveAnalyzer(t *testing.T) {
+	// Under `-only floateq` the directive analyzer is not in the running
+	// set, so no finding may carry its name — the malformed directive still
+	// fails to suppress, but is not itself reported.
+	diags := analyze(t, "pdr/internal/x", `package x
+func f(a, b float64) bool {
+	return a == b // lint:ignore floateq
+}
+`, AnalyzerFloatEq)
+	wantFindings(t, diags, "floateq", 1)
 }
 
 func TestIgnoreAll(t *testing.T) {
@@ -572,5 +585,39 @@ func TestSuiteIsClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("%s", d)
+	}
+}
+
+func TestDiagnosticOrderIsDeterministic(t *testing.T) {
+	// Regression: findings sort by (package, file, line, col, analyzer,
+	// message) so repeated runs and CI diffs are byte-stable regardless of
+	// package load order or analyzer scheduling.
+	mk := func(pkg, file string, line, col int, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pkg:      pkg,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Message:  msg,
+		}
+	}
+	want := []Diagnostic{
+		mk("pdr/internal/a", "a.go", 1, 1, "floateq", "x"),
+		mk("pdr/internal/a", "a.go", 1, 1, "locked", "x"),
+		mk("pdr/internal/a", "a.go", 1, 2, "floateq", "x"),
+		mk("pdr/internal/a", "a.go", 2, 1, "floateq", "x"),
+		mk("pdr/internal/a", "b.go", 1, 1, "floateq", "x"),
+		mk("pdr/internal/b", "a.go", 1, 1, "floateq", "x"),
+		mk("pdr/internal/b", "a.go", 1, 1, "floateq", "y"),
+	}
+	got := make([]Diagnostic, len(want))
+	for i, j := range []int{6, 3, 0, 5, 2, 4, 1} {
+		got[i] = want[j]
+	}
+	sortDiags(got)
+	for i := range want {
+		if got[i].String() != want[i].String() || got[i].Pkg != want[i].Pkg || got[i].Message != want[i].Message {
+			t.Fatalf("position %d: got %s (pkg %s, msg %s), want %s (pkg %s, msg %s)",
+				i, got[i], got[i].Pkg, got[i].Message, want[i], want[i].Pkg, want[i].Message)
+		}
 	}
 }

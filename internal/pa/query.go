@@ -13,6 +13,8 @@ import (
 // boxes whose lower bound reaches rho are wholly dense, boxes whose upper
 // bound misses rho are discarded, and boxes smaller than the MD resolution
 // floor are decided by their center density.
+//
+// pdr:hot — PA query root for the hotpath analyzer family (docs/LINT.md).
 func (s *Surface) DenseRegion(qt motion.Tick, rho float64) (geom.Region, error) {
 	if qt < s.base || qt > s.base+s.cfg.Horizon {
 		return nil, fmt.Errorf("pa: timestamp %d outside window [%d, %d]", qt, s.base, s.base+s.cfg.Horizon)
@@ -83,6 +85,8 @@ func (s *Surface) denorm(cell geom.Rect, x1, y1, x2, y2 float64) geom.Rect {
 // am looking at"). Only the polynomial cells overlapping the viewport are
 // explored, and branch-and-bound starts from the clipped boxes, so cost
 // scales with the viewport rather than the plane.
+//
+// pdr:hot — PA query root for the hotpath analyzer family (docs/LINT.md).
 func (s *Surface) DenseRegionIn(qt motion.Tick, rho float64, viewport geom.Rect) (geom.Region, error) {
 	if qt < s.base || qt > s.base+s.cfg.Horizon {
 		return nil, fmt.Errorf("pa: timestamp %d outside window [%d, %d]", qt, s.base, s.base+s.cfg.Horizon)

@@ -27,7 +27,9 @@
 package sweep
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -60,6 +62,8 @@ var sweepers = sync.Pool{New: func() any { return new(sweeper) }}
 // every object whose l-square influence can reach the cell — i.e. all
 // objects inside cell.Grow(l/2). The result is exact. DenseRects is safe
 // for concurrent use; concurrent calls draw scratch from a shared pool.
+//
+// pdr:hot — refinement root for the hotpath analyzer family (docs/LINT.md).
 func DenseRects(points []geom.Point, cell geom.Rect, rho, l float64) geom.Region {
 	if cell.IsEmpty() || l <= 0 {
 		return nil
@@ -285,6 +289,6 @@ func sortedIndexInto(idx []int, vals []float64) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(vals[a], vals[b]) })
 	return idx
 }

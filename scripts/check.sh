@@ -5,8 +5,14 @@
 #
 # Usage: scripts/check.sh        (from the module root)
 #
+# FUZZ_SECS overrides the per-target fuzz smoke budget (default 5):
+#   FUZZ_SECS=30 scripts/check.sh   # deeper nightly run
+#   FUZZ_SECS=1 scripts/check.sh    # faster local loop
+#
 # Every step must pass; the script stops at the first failure.
 set -eu
+
+FUZZ_SECS=${FUZZ_SECS:-5}
 
 cd "$(dirname "$0")/.."
 
@@ -42,14 +48,17 @@ go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/st
 step "telemetry (race on the atomic registry + instrumented service)"
 go test -race ./internal/telemetry ./internal/service
 
-step "fuzz smoke: geometry area identity (5s)"
-go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime 5s ./internal/geom/
+step "fuzz smoke: geometry area identity (${FUZZ_SECS}s)"
+go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime "${FUZZ_SECS}s" ./internal/geom/
 
-step "fuzz smoke: sweep-vs-oracle refinement (5s)"
-go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime 5s ./internal/sweep/
+step "fuzz smoke: sweep-vs-oracle refinement (${FUZZ_SECS}s)"
+go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime "${FUZZ_SECS}s" ./internal/sweep/
 
 step "pdrvet (project-specific static analysis)"
 go run ./cmd/pdrvet ./...
+
+step "pdrvet -fix -dry (no machine-applicable fix left pending)"
+go run ./cmd/pdrvet -fix -dry ./...
 
 step "analyzer inventory matches docs/LINT.md"
 listed=$(go run ./cmd/pdrvet -list | awk '{print $1}' | sort)
