@@ -1,0 +1,90 @@
+// Command pdrload is the production load harness: it drives a running
+// pdrserve over persistent connections with a configurable mix of
+// snapshot, interval, and stats requests and reports throughput plus a
+// log-scale latency distribution (p50/p90/p95/p99/max).
+//
+// Usage:
+//
+//	pdrload -url http://localhost:8080 [-c 8] [-duration 10s] [-warmup 2s]
+//	        [-n 0] [-mix snapshot=8,interval=1,stats=1] [-method fr]
+//	        [-l 30] [-varrho 3] [-interval-ticks 5] [-seed 1]
+//	        [-timeout 30s] [-benchjson BENCH_load.json]
+//
+// Example session:
+//
+//	pdrgen -n 20000 -ticks 10 -o wl.jsonl
+//	pdrserve -data wl.jsonl &
+//	pdrload -url http://localhost:8080 -c 8 -duration 10s -warmup 2s \
+//	        -benchjson BENCH_load.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pdr/internal/loadgen"
+)
+
+func main() {
+	var (
+		urlFlag  = flag.String("url", "http://localhost:8080", "base URL of the pdrserve under test")
+		workers  = flag.Int("c", 8, "concurrent persistent connections")
+		duration = flag.Duration("duration", 10*time.Second, "measured phase length")
+		warmup   = flag.Duration("warmup", 0, "warmup phase length (same traffic, discarded)")
+		requests = flag.Int64("n", 0, "stop after this many measured requests (0 = run the full duration)")
+		mixFlag  = flag.String("mix", "snapshot=8,interval=1,stats=1", "request-class weights, class=weight comma-separated")
+		method   = flag.String("method", "fr", "query method for the snapshot/interval classes: fr | pa | dh-opt | dh-pess | bf")
+		l        = flag.Float64("l", 30, "neighborhood edge for query classes")
+		varrho   = flag.Float64("varrho", 3, "relative density threshold for query classes")
+		ticks    = flag.Int("interval-ticks", 5, "interval query length: until = now+K")
+		seed     = flag.Int64("seed", 1, "RNG seed for the request sequence (worker i uses seed+i)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		benchOut = flag.String("benchjson", "", "also write the report as JSON to this path (e.g. BENCH_load.json)")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		log.Fatal("pdrload: ", err)
+	}
+	fmt.Fprintf(os.Stderr, "pdrload: %d workers against %s for %v (warmup %v), mix %s\n",
+		*workers, *urlFlag, *duration, *warmup, *mixFlag)
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL: *urlFlag, Workers: *workers,
+		Duration: *duration, Warmup: *warmup, Requests: *requests,
+		Mix: mix, Method: *method, L: *l, Varrho: *varrho,
+		IntervalTicks: *ticks, Seed: *seed, Timeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal("pdrload: ", err)
+	}
+
+	fmt.Printf("requests     %d (%d errors)\n", rep.Requests, rep.Errors)
+	fmt.Printf("elapsed      %v\n", time.Duration(rep.ElapsedNanos))
+	fmt.Printf("throughput   %.1f req/s\n", rep.ThroughputRPS)
+	fmt.Printf("latency      min %v  mean %v  max %v\n",
+		time.Duration(rep.MinNanos), time.Duration(rep.MeanNanos), time.Duration(rep.MaxNanos))
+	fmt.Printf("percentiles  p50 %v  p90 %v  p95 %v  p99 %v\n",
+		time.Duration(rep.P50Nanos), time.Duration(rep.P90Nanos),
+		time.Duration(rep.P95Nanos), time.Duration(rep.P99Nanos))
+	for _, name := range []string{"snapshot", "interval", "stats"} {
+		cs, ok := rep.PerClass[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-9s  %6d reqs  p50 %v  p99 %v  max %v\n", name, cs.Requests,
+			time.Duration(cs.P50Nanos), time.Duration(cs.P99Nanos), time.Duration(cs.MaxNanos))
+	}
+	if rep.SampleTraceID != "" {
+		fmt.Printf("sample trace %s/debug/traces/%s\n", *urlFlag, rep.SampleTraceID)
+	}
+	if *benchOut != "" {
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			log.Fatal("pdrload: ", err)
+		}
+		fmt.Fprintf(os.Stderr, "pdrload: wrote %s\n", *benchOut)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
 //	         [-workers 0] [-cache-bytes 67108864] [-slow-query 250ms]
+//	         [-slow-query-max 10000] [-trace-sample 1.0] [-trace-buffer 256]
 //	         [-debug-addr localhost:6060]
 //
 // Example session:
@@ -39,6 +40,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "query worker-pool size: 0 = GOMAXPROCS, 1 = sequential")
 		cacheB    = flag.Int64("cache-bytes", 0, "result-cache budget in bytes: repeated/interval/monitor queries reuse per-timestamp answers until the next update (0 disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+		slowMax   = flag.Int64("slow-query-max", 0, "cap the slow-query log at this many lines; further slow requests only count on pdr_http_slow_log_dropped_total (0 = unbounded)")
+		traceRate = flag.Float64("trace-sample", 1.0, "head-sampling probability for request traces in [0,1]; sampled requests carry X-Pdr-Trace-Id and appear under /debug/traces")
+		traceBuf  = flag.Int("trace-buffer", service.DefaultTraceBuffer, "in-memory trace store capacity in traces (0 disables tracing entirely)")
 		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -53,6 +57,10 @@ func main() {
 	if *slowQuery > 0 {
 		opts = append(opts, service.WithSlowQueryLog(*slowQuery, os.Stderr))
 	}
+	if *slowMax > 0 {
+		opts = append(opts, service.WithSlowQueryCap(*slowMax))
+	}
+	opts = append(opts, service.WithTracing(*traceRate, *traceBuf))
 	svc, err := service.New(cfg, opts...)
 	if err != nil {
 		log.Fatal("pdrserve: ", err)

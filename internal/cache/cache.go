@@ -51,6 +51,11 @@ type Entry struct {
 	CPU                            time.Duration
 	Accepted, Rejected, Candidates int
 	ObjectsRetrieved               int
+	// TraceID records the trace (if any) of the evaluation that computed
+	// the entry, so cache hits can annotate their span with the source
+	// trace — the one that actually did the work. Zero when the computing
+	// query was untraced.
+	TraceID uint64
 }
 
 // Per-entry accounting constants: a Rect is four float64s; the fixed

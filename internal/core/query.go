@@ -110,12 +110,24 @@ func (s *Server) validateLocked(q Query) error {
 // Snapshot answers the snapshot PDR query q with the given method. Any
 // number of Snapshot/Interval calls may run concurrently; they serialize
 // only against mutations (Tick, Apply, Load).
+func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
+	return s.SnapshotTraced(q, m, nil)
+}
+
+// SnapshotTraced is Snapshot recording its evaluation as a child span of
+// sp: the phase breakdown, the per-window refinement fan-out, and cache
+// outcomes all land in the span tree. A nil sp traces nothing and
+// allocates nothing — Snapshot simply passes nil.
 //
 // pdr:hot — query-path root for the hotpath analyzer family (docs/LINT.md).
-func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
+func (s *Server) SnapshotTraced(q Query, m Method, sp *telemetry.Span) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.snapshotLocked(q, m, true)
+	esp := sp.Child("snapshot")
+	esp.SetAttr("method", m.String())
+	esp.SetAttrInt("at", int64(q.At))
+	res, err := s.snapshotLocked(q, m, true, esp)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +146,7 @@ func (s *Server) Snapshot(q Query, m Method) (*Result, error) {
 // the cache's singleflight layer. Cached and computed answers are
 // bit-identical — the cache stores deep copies, so neither side can mutate
 // the other's region.
-func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error) {
+func (s *Server) snapshotLocked(q Query, m Method, trackIO bool, sp *telemetry.Span) (*Result, error) {
 	if err := s.validateLocked(q); err != nil {
 		if s.met != nil {
 			s.met.errors.Inc()
@@ -142,13 +154,13 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 		return nil, err
 	}
 	if s.qcache == nil {
-		return s.evaluateLocked(q, m, trackIO)
+		return s.evaluateLocked(q, m, trackIO, sp)
 	}
 	k := cache.Key{Epoch: s.epoch, At: int64(q.At), Rho: q.Rho, L: q.L, Method: uint8(m)}
 	sw := stopwatch.Start()
 	var computed *Result // set only when this call wins the flight
 	ent, outcome, err := s.qcache.Do(k, func() (*cache.Entry, error) {
-		res, err := s.evaluateLocked(q, m, trackIO)
+		res, err := s.evaluateLocked(q, m, trackIO, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -160,6 +172,7 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 			Rejected:         res.Rejected,
 			Candidates:       res.Candidates,
 			ObjectsRetrieved: res.ObjectsRetrieved,
+			TraceID:          uint64(sp.TraceID()),
 		}, nil
 	})
 	if err != nil {
@@ -174,6 +187,16 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 		return computed, nil
 	}
 	elapsed := sw.Elapsed()
+	// The answer came from the cache (or a shared flight): the span tree
+	// records the outcome plus the trace that originally paid for the
+	// evaluation, so a fast cached query links to the slow one that built
+	// its answer.
+	csp := sp.Child("cache")
+	csp.SetAttr("outcome", outcome.String())
+	if csp != nil && ent.TraceID != 0 {
+		csp.SetAttr("sourceTrace", telemetry.TraceID(ent.TraceID).String())
+	}
+	csp.End()
 	return &Result{
 		Method:           m,
 		Region:           ent.Region,
@@ -195,9 +218,8 @@ func (s *Server) snapshotLocked(q Query, m Method, trackIO bool) (*Result, error
 // queries overlap (the pool counters are engine-global). Interval fan-outs
 // pass trackIO=false and charge I/O once at the interval level instead, so
 // concurrent sub-snapshots never double-count each other's page accesses.
-func (s *Server) evaluateLocked(q Query, m Method, trackIO bool) (*Result, error) {
+func (s *Server) evaluateLocked(q Query, m Method, trackIO bool, sp *telemetry.Span) (*Result, error) {
 	res := &Result{Method: m}
-	tr := telemetry.NewTrace()
 	var ioBefore storage.Stats
 	if trackIO {
 		ioBefore = s.pool.Stats()
@@ -206,13 +228,13 @@ func (s *Server) evaluateLocked(q Query, m Method, trackIO bool) (*Result, error
 	var err error
 	switch m {
 	case FR:
-		err = s.snapshotFRLocked(q, res, tr)
+		err = s.snapshotFRLocked(q, res, sp)
 	case PA:
-		err = s.snapshotPALocked(q, res, tr)
+		err = s.snapshotPALocked(q, res, sp)
 	case DHOptimistic, DHPessimistic:
-		err = s.snapshotDHLocked(q, m, res, tr)
+		err = s.snapshotDHLocked(q, m, res, sp)
 	case BruteForce:
-		s.snapshotBFLocked(q, res, tr)
+		s.snapshotBFLocked(q, res, sp)
 	default:
 		err = fmt.Errorf("core: unknown method %d", m)
 	}
@@ -222,14 +244,16 @@ func (s *Server) evaluateLocked(q Query, m Method, trackIO bool) (*Result, error
 		}
 		return nil, err
 	}
-	tr.End()
 	res.CPU = sw.Elapsed()
 	res.Wall = res.CPU // a snapshot evaluation is one sequential stopwatch
 	if trackIO {
 		res.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
 		res.IOTime = time.Duration(res.IOs) * s.cfg.IOCharge
 	}
-	res.Phases = tr.Spans()
+	sp.SetAttrInt("ios", res.IOs)
+	// The flat phase breakdown is the span tree's first level, folded by
+	// name; untraced evaluations (nil sp) report no phases.
+	res.Phases = sp.PhaseSummary()
 	return res, nil
 }
 
@@ -246,8 +270,8 @@ func (s *Server) evaluateLocked(q Query, m Method, trackIO bool) (*Result, error
 // index and runs the plane sweep with pooled scratch. Results land in a
 // per-window slot and are merged in window order, so the output is
 // byte-identical to the sequential path at any worker count.
-func (s *Server) snapshotFRLocked(q Query, res *Result, tr *telemetry.Trace) error {
-	tr.Phase("filter")
+func (s *Server) snapshotFRLocked(q Query, res *Result, sp *telemetry.Span) error {
+	ph := sp.Child("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
 		return err
@@ -262,13 +286,22 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, tr *telemetry.Trace) err
 	if s.cfg.MergeCandidates {
 		windows = geom.Coalesce(windows)
 	}
-	tr.Phase("refine")
+	ph.SetAttrInt("accepted", int64(res.Accepted))
+	ph.SetAttrInt("rejected", int64(res.Rejected))
+	ph.SetAttrInt("candidates", int64(res.Candidates))
+	ph.End()
+	ph = sp.Child("refine")
+	ph.SetAttrInt("windows", int64(len(windows)))
 	if s.met != nil {
 		s.met.refineFanout.Observe(float64(len(windows)))
 	}
+	// One child span per window, pre-allocated in window order so the tree
+	// shape is identical at any worker count; each worker fills only its
+	// own slot.
+	slots := ph.Fork("window", len(windows))
 	parts := make([]geom.Region, len(windows))
 	retrieved := make([]int, len(windows))
-	s.par.ForEach(len(windows), func(wi int) {
+	s.par.ForEachSpan(len(windows), slots, func(wi int, wsp *telemetry.Span) {
 		cell := windows[wi]
 		grown := cell.Grow(q.L / 2)
 		var points []geom.Point
@@ -280,51 +313,60 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, tr *telemetry.Trace) err
 			return true
 		})
 		retrieved[wi] = len(points)
+		wsp.SetAttrInt("retrieved", int64(len(points)))
 		parts[wi] = sweep.DenseRects(points, cell, q.Rho, q.L)
 	})
 	for wi := range parts {
 		res.ObjectsRetrieved += retrieved[wi]
 		region = append(region, parts[wi]...)
 	}
-	tr.Phase("union")
+	ph.End()
+	ph = sp.Child("union")
 	res.Region = geom.Coalesce(region)
+	ph.End()
 	return nil
 }
 
-func (s *Server) snapshotPALocked(q Query, res *Result, tr *telemetry.Trace) error {
+func (s *Server) snapshotPALocked(q Query, res *Result, sp *telemetry.Span) error {
 	// lint:ignore floateq config identity: the surfaces answer only the
 	// exact l they were built for; a nearly-equal l must be rejected too.
 	if q.L != s.surf.L() {
 		return fmt.Errorf("core: PA surfaces are built for l=%g, query asked l=%g (the approximation method fixes l in advance; use FR for other edges)",
 			s.surf.L(), q.L)
 	}
-	tr.Phase("pa-eval")
+	ph := sp.Child("pa-eval")
 	region, err := s.surf.DenseRegion(q.At, q.Rho)
 	if err != nil {
 		return err
 	}
 	res.Region = region
+	ph.End()
 	return nil
 }
 
-func (s *Server) snapshotDHLocked(q Query, m Method, res *Result, tr *telemetry.Trace) error {
-	tr.Phase("filter")
+func (s *Server) snapshotDHLocked(q Query, m Method, res *Result, sp *telemetry.Span) error {
+	ph := sp.Child("filter")
 	fr, err := s.hist.Filter(q.At, q.Rho, q.L)
 	if err != nil {
 		return err
 	}
 	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
-	tr.Phase("union")
+	ph.SetAttrInt("accepted", int64(res.Accepted))
+	ph.SetAttrInt("rejected", int64(res.Rejected))
+	ph.SetAttrInt("candidates", int64(res.Candidates))
+	ph.End()
+	ph = sp.Child("union")
 	if m == DHOptimistic {
 		res.Region = fr.OptimisticRegion()
 	} else {
 		res.Region = fr.PessimisticRegion()
 	}
+	ph.End()
 	return nil
 }
 
-func (s *Server) snapshotBFLocked(q Query, res *Result, tr *telemetry.Trace) {
-	tr.Phase("refine")
+func (s *Server) snapshotBFLocked(q Query, res *Result, sp *telemetry.Span) {
+	ph := sp.Child("refine")
 	points := make([]geom.Point, 0, len(s.live))
 	for _, st := range s.live {
 		p := st.PositionAt(q.At)
@@ -333,8 +375,11 @@ func (s *Server) snapshotBFLocked(q Query, res *Result, tr *telemetry.Trace) {
 		}
 	}
 	res.ObjectsRetrieved = len(points)
-	tr.Phase("union")
+	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
+	ph.End()
+	ph = sp.Child("union")
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	ph.End()
 }
 
 // PastSnapshot answers the snapshot PDR query q for a timestamp in the
@@ -342,6 +387,12 @@ func (s *Server) snapshotBFLocked(q Query, res *Result, tr *telemetry.Trace) {
 // that were already current at q.At. Requires Config.KeepHistory; q.At must
 // precede the server clock (use Snapshot for now and the future).
 func (s *Server) PastSnapshot(q Query) (*Result, error) {
+	return s.PastSnapshotTraced(q, nil)
+}
+
+// PastSnapshotTraced is PastSnapshot recording its evaluation as a child
+// span of sp (nil traces nothing).
+func (s *Server) PastSnapshotTraced(q Query, sp *telemetry.Span) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.hst == nil {
@@ -354,9 +405,10 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: bad query parameters rho=%g l=%g", q.Rho, q.L)
 	}
 	res := &Result{Method: BruteForce}
-	tr := telemetry.NewTrace()
+	esp := sp.Child("past")
+	esp.SetAttrInt("at", int64(q.At))
 	sw := stopwatch.Start()
-	tr.Phase("refine")
+	ph := esp.Child("refine")
 	points := s.hst.PointsAt(q.At)
 	for _, st := range s.live {
 		if st.Ref > q.At {
@@ -368,12 +420,15 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 		}
 	}
 	res.ObjectsRetrieved = len(points)
-	tr.Phase("union")
+	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
+	ph.End()
+	ph = esp.Child("union")
 	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
-	tr.End()
+	ph.End()
 	res.CPU = sw.Elapsed()
 	res.Wall = res.CPU
-	res.Phases = tr.Spans()
+	res.Phases = esp.PhaseSummary()
+	esp.End()
 	return res, nil
 }
 
@@ -390,9 +445,17 @@ func (s *Server) PastSnapshot(q Query) (*Result, error) {
 // (total work, not wall time), and I/O is charged once from the pool delta
 // across the whole fan-out so overlapping sub-snapshots never double-count
 // a page access.
+func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error) {
+	return s.IntervalTraced(q, until, m, nil)
+}
+
+// IntervalTraced is Interval recording the fan-out as a span subtree of
+// sp: one "snapshot" child per timestamp, pre-allocated in timestamp
+// order so the tree shape is deterministic at any worker count. A nil sp
+// traces nothing and allocates nothing.
 //
 // pdr:hot — query-path root for the hotpath analyzer family (docs/LINT.md).
-func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error) {
+func (s *Server) IntervalTraced(q Query, until motion.Tick, m Method, sp *telemetry.Span) (*Result, error) {
 	if until < q.At {
 		return nil, fmt.Errorf("core: empty interval [%d, %d]", q.At, until)
 	}
@@ -400,16 +463,22 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 	defer s.mu.RUnlock()
 	sw := stopwatch.Start()
 	n := int(until-q.At) + 1
+	isp := sp.Child("interval")
+	isp.SetAttr("method", m.String())
+	isp.SetAttrInt("snapshots", int64(n))
 	ioBefore := s.pool.Stats()
 	subs := make([]*Result, n)
 	errs := make([]error, n)
-	s.par.ForEach(n, func(i int) {
+	slots := isp.Fork("snapshot", n)
+	s.par.ForEachSpan(n, slots, func(i int, ssp *telemetry.Span) {
 		sub := q
 		sub.At = q.At + motion.Tick(i)
-		subs[i], errs[i] = s.snapshotLocked(sub, m, false)
+		ssp.SetAttrInt("at", int64(sub.At))
+		subs[i], errs[i] = s.snapshotLocked(sub, m, false, ssp)
 	})
 	for _, err := range errs {
 		if err != nil {
+			isp.End()
 			return nil, err
 		}
 	}
@@ -431,7 +500,11 @@ func (s *Server) Interval(q Query, until motion.Tick, m Method) (*Result, error)
 	// Snapshots of adjacent timestamps overlap heavily; coalescing the
 	// union keeps the answer free of redundant rectangles, exactly like the
 	// per-snapshot answers.
+	usp := isp.Child("union")
 	out.Region = geom.Coalesce(region)
+	usp.End()
+	isp.SetAttrInt("ios", out.IOs)
+	isp.End()
 	out.Wall = sw.Elapsed()
 	if s.met != nil {
 		s.met.observeInterval(int64(n), out.Wall)

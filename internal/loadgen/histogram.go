@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-scale latency histogram: geometric bucket bounds at
+// 8 buckets per octave from 1µs to ~2 minutes, plus an overflow bucket.
+// Each worker owns one (no locking on the hot path) and the runner merges
+// them at the end — identical bucket layouts make Merge a vector add.
+// Exact min/max/sum ride alongside so the report's extremes are not
+// quantized.
+type Histogram struct {
+	bounds []time.Duration // upper bucket edges, ascending
+	counts []int64         // len(bounds)+1; last is overflow
+	n      int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histMin          = time.Microsecond
+	histMax          = 2 * time.Minute
+	bucketsPerOctave = 8
+)
+
+// NewHistogram builds an empty histogram with the standard layout.
+func NewHistogram() *Histogram {
+	ratio := math.Pow(2, 1.0/bucketsPerOctave)
+	var bounds []time.Duration
+	for v := float64(histMin); v < float64(histMax); v *= ratio {
+		bounds = append(bounds, time.Duration(v))
+	}
+	bounds = append(bounds, histMax)
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.counts[i]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds o into h; both must share the standard layout.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if o.n > 0 {
+		if h.n == 0 || o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Min and Max return the exact extremes; Mean the exact average.
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the exact mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Quantile returns the latency at quantile q in [0, 1]: the upper edge of
+// the bucket the quantile falls in (conservative — never under-reports),
+// clamped to the exact observed extremes.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest sample index whose cumulative share
+	// reaches q. With two samples, Quantile(0.99) is the slower one.
+	rank := int64(math.Ceil(q*float64(h.n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			var v time.Duration
+			if i < len(h.bounds) {
+				v = h.bounds[i]
+			} else {
+				v = h.max // overflow bucket: the exact max bounds it
+			}
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}

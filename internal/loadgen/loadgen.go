@@ -1,0 +1,404 @@
+// Package loadgen is the engine's HTTP load harness: persistent-connection
+// workers drive a configurable mix of snapshot / interval / stats requests
+// against a running pdrserve and report throughput plus a log-scale latency
+// distribution (p50/p90/p95/p99/max). cmd/pdrload is the CLI wrapper; the
+// library form lets scripts/check.sh smoke-test the harness against an
+// in-process httptest server.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdr/internal/stopwatch"
+)
+
+// Mix weights the request classes; a class with weight 0 is never sent.
+type Mix struct {
+	Snapshot int `json:"snapshot"`
+	Interval int `json:"interval"`
+	Stats    int `json:"stats"`
+}
+
+func (m Mix) total() int { return m.Snapshot + m.Interval + m.Stats }
+
+// ParseMix parses the CLI form "snapshot=8,interval=1,stats=1".
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range splitComma(s) {
+		eq := -1
+		for i := 0; i < len(part); i++ {
+			if part[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 1 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix component %q (want class=weight)", part)
+		}
+		name := part[:eq]
+		w, err := strconv.Atoi(part[eq+1:])
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix component %q (want class=weight)", part)
+		}
+		switch name {
+		case "snapshot":
+			m.Snapshot = w
+		case "interval":
+			m.Interval = w
+		case "stats":
+			m.Stats = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown request class %q (want snapshot, interval, or stats)", name)
+		}
+	}
+	if m.total() <= 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ',' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://localhost:8080".
+	BaseURL string
+	// Workers is the number of concurrent persistent connections.
+	Workers int
+	// Duration bounds the measured phase; Requests (if > 0) instead stops
+	// after that many measured requests, whichever the mode, Warmup runs
+	// first and is discarded.
+	Duration time.Duration
+	Warmup   time.Duration
+	Requests int64
+	// Mix weights the request classes (zero value: snapshots only).
+	Mix Mix
+	// Query-shape knobs for the snapshot/interval classes.
+	Method        string  // fr | pa | dh-opt | dh-pess | bf
+	L             float64 // neighborhood edge
+	Varrho        float64 // relative density threshold
+	IntervalTicks int     // interval query length (until = now+K)
+	// Seed makes the request sequence reproducible; worker w derives its
+	// private stream from Seed+w.
+	Seed    int64
+	Timeout time.Duration // per-request timeout
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 8
+	}
+	if out.Duration <= 0 {
+		out.Duration = 10 * time.Second
+	}
+	if out.Mix.total() <= 0 {
+		out.Mix = Mix{Snapshot: 1}
+	}
+	if out.Method == "" {
+		out.Method = "fr"
+	}
+	if out.L <= 0 {
+		out.L = 30
+	}
+	if out.Varrho <= 0 {
+		out.Varrho = 3
+	}
+	if out.IntervalTicks <= 0 {
+		out.IntervalTicks = 5
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 30 * time.Second
+	}
+	return out
+}
+
+// ClassStats is the per-request-class slice of the report.
+type ClassStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	P50Nanos int64 `json:"p50Nanos"`
+	P99Nanos int64 `json:"p99Nanos"`
+	MaxNanos int64 `json:"maxNanos"`
+}
+
+// Report is the outcome of a run; WriteJSON serializes it in the
+// BENCH_*.json house style.
+type Report struct {
+	Kind          string                `json:"kind"`
+	URL           string                `json:"url"`
+	NumCPU        int                   `json:"numCPU"`
+	Gomaxprocs    int                   `json:"gomaxprocs"`
+	Workers       int                   `json:"workers"`
+	Mix           Mix                   `json:"mix"`
+	WarmupNanos   int64                 `json:"warmupNanos"`
+	ElapsedNanos  int64                 `json:"elapsedNanos"`
+	Requests      int64                 `json:"requests"`
+	Errors        int64                 `json:"errors"`
+	ThroughputRPS float64               `json:"throughputRps"`
+	MinNanos      int64                 `json:"minNanos"`
+	MeanNanos     int64                 `json:"meanNanos"`
+	P50Nanos      int64                 `json:"p50Nanos"`
+	P90Nanos      int64                 `json:"p90Nanos"`
+	P95Nanos      int64                 `json:"p95Nanos"`
+	P99Nanos      int64                 `json:"p99Nanos"`
+	MaxNanos      int64                 `json:"maxNanos"`
+	PerClass      map[string]ClassStats `json:"perClass"`
+	// SampleTraceID is one X-Pdr-Trace-Id seen during the run (empty when
+	// the server traces nothing): resolve it at /debug/traces/{id}.
+	SampleTraceID string `json:"sampleTraceId,omitempty"`
+}
+
+// WriteJSON writes the report to path in the repo's BENCH_*.json house
+// style (indented, trailing newline).
+func (r *Report) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// classNames indexes the request classes; pick() returns an index into it.
+var classNames = [...]string{"snapshot", "interval", "stats"}
+
+// worker is the per-goroutine state: private RNG, private histograms.
+type worker struct {
+	rng     *rand.Rand
+	hist    *Histogram
+	byClass [len(classNames)]*Histogram
+	reqs    [len(classNames)]int64
+	errs    [len(classNames)]int64
+	traceID string
+}
+
+// pick selects a request class by mix weight.
+func (w *worker) pick(m Mix) int {
+	r := w.rng.Intn(m.total())
+	if r < m.Snapshot {
+		return 0
+	}
+	if r < m.Snapshot+m.Interval {
+		return 1
+	}
+	return 2
+}
+
+// buildURL renders the request for one class.
+func buildURL(cfg *Config, class int) string {
+	switch class {
+	case 0:
+		return cfg.BaseURL + "/v1/query?method=" + url.QueryEscape(cfg.Method) +
+			"&varrho=" + strconv.FormatFloat(cfg.Varrho, 'g', -1, 64) +
+			"&l=" + strconv.FormatFloat(cfg.L, 'g', -1, 64)
+	case 1:
+		return cfg.BaseURL + "/v1/query?method=" + url.QueryEscape(cfg.Method) +
+			"&varrho=" + strconv.FormatFloat(cfg.Varrho, 'g', -1, 64) +
+			"&l=" + strconv.FormatFloat(cfg.L, 'g', -1, 64) +
+			"&until=now%2B" + strconv.Itoa(cfg.IntervalTicks)
+	default:
+		return cfg.BaseURL + "/v1/stats"
+	}
+}
+
+// Run drives the configured load and returns the merged report. The
+// transport keeps one idle connection per worker alive, so after the first
+// round every request reuses its connection — the persistent-connection
+// regime a production client pool creates.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers,
+		MaxIdleConnsPerHost: cfg.Workers,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: transport, Timeout: cfg.Timeout}
+	defer transport.CloseIdleConnections()
+
+	// Probe once so a wrong URL fails fast instead of as N*iters errors.
+	if err := probe(client, cfg.BaseURL); err != nil {
+		return nil, err
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		w := &worker{
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			hist: NewHistogram(),
+		}
+		for c := range w.byClass {
+			w.byClass[c] = NewHistogram()
+		}
+		workers[i] = w
+	}
+
+	// Warmup: same traffic, discarded measurements. Fills connection
+	// pools, page caches, and the engine's result cache to steady state.
+	if cfg.Warmup > 0 {
+		runPhase(client, &cfg, workers, cfg.Warmup, 0)
+		for _, w := range workers {
+			w.reset()
+		}
+	}
+
+	sw := stopwatch.Start()
+	runPhase(client, &cfg, workers, cfg.Duration, cfg.Requests)
+	elapsed := sw.Elapsed()
+
+	// Merge the per-worker shards.
+	total := NewHistogram()
+	perClass := make(map[string]ClassStats, len(classNames))
+	byClass := [len(classNames)]*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	rep := &Report{
+		Kind: "load", URL: cfg.BaseURL,
+		NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0),
+		Workers: cfg.Workers, Mix: cfg.Mix,
+		WarmupNanos: cfg.Warmup.Nanoseconds(), ElapsedNanos: elapsed.Nanoseconds(),
+	}
+	for _, w := range workers {
+		total.Merge(w.hist)
+		for c := range classNames {
+			byClass[c].Merge(w.byClass[c])
+			rep.Errors += w.errs[c]
+		}
+		if rep.SampleTraceID == "" {
+			rep.SampleTraceID = w.traceID
+		}
+	}
+	rep.Requests = total.Count() + rep.Errors
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.MinNanos = total.Min().Nanoseconds()
+	rep.MeanNanos = total.Mean().Nanoseconds()
+	rep.P50Nanos = total.Quantile(0.50).Nanoseconds()
+	rep.P90Nanos = total.Quantile(0.90).Nanoseconds()
+	rep.P95Nanos = total.Quantile(0.95).Nanoseconds()
+	rep.P99Nanos = total.Quantile(0.99).Nanoseconds()
+	rep.MaxNanos = total.Max().Nanoseconds()
+	for c, name := range classNames {
+		var reqs, errs int64
+		for _, w := range workers {
+			reqs += w.reqs[c]
+			errs += w.errs[c]
+		}
+		if reqs == 0 {
+			continue
+		}
+		perClass[name] = ClassStats{
+			Requests: reqs, Errors: errs,
+			P50Nanos: byClass[c].Quantile(0.50).Nanoseconds(),
+			P99Nanos: byClass[c].Quantile(0.99).Nanoseconds(),
+			MaxNanos: byClass[c].Max().Nanoseconds(),
+		}
+	}
+	rep.PerClass = perClass
+	return rep, nil
+}
+
+func (w *worker) reset() {
+	w.hist = NewHistogram()
+	for c := range w.byClass {
+		w.byClass[c] = NewHistogram()
+	}
+	w.reqs = [len(classNames)]int64{}
+	w.errs = [len(classNames)]int64{}
+}
+
+// probe issues one stats request to validate the target.
+func probe(client *http.Client, baseURL string) error {
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("loadgen: probe failed: %w", err)
+	}
+	defer resp.Body.Close()
+	// Drain-to-reuse: a failed drain only costs this probe its keep-alive
+	// slot.
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: probe %s/v1/stats returned %d", baseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// runPhase fans the workers out for one timed phase. maxReqs > 0 bounds
+// the total request count across workers (used by -n mode); the deadline
+// applies regardless.
+func runPhase(client *http.Client, cfg *Config, workers []*worker, d time.Duration, maxReqs int64) {
+	deadline := time.Now().Add(d)
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if maxReqs > 0 && issued.Add(1) > maxReqs {
+					return
+				}
+				class := w.pick(cfg.Mix)
+				w.do(client, cfg, class)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// do issues one request and records its latency (errors are counted, not
+// timed). The body is fully drained so the connection returns to the
+// keep-alive pool.
+func (w *worker) do(client *http.Client, cfg *Config, class int) {
+	sw := stopwatch.Start()
+	resp, err := client.Get(buildURL(cfg, class))
+	if err != nil {
+		w.errs[class]++
+		return
+	}
+	// Drain-to-reuse: a short read only costs this worker its keep-alive
+	// slot.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := sw.Elapsed()
+	if resp.StatusCode != http.StatusOK {
+		w.errs[class]++
+		return
+	}
+	if w.traceID == "" {
+		w.traceID = resp.Header.Get("X-Pdr-Trace-Id")
+	}
+	w.reqs[class]++
+	w.hist.Observe(elapsed)
+	w.byClass[class].Observe(elapsed)
+}

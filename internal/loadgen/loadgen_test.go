@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pdr/internal/core"
+	"pdr/internal/datagen"
+	"pdr/internal/service"
+	"pdr/internal/wire"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("snapshot=8,interval=1,stats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Snapshot: 8, Interval: 1, Stats: 1}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	if _, err := ParseMix("snapshot=0"); err == nil {
+		t.Fatal("all-zero mix should be rejected")
+	}
+	if _, err := ParseMix("snapshots=1"); err == nil {
+		t.Fatal("unknown class should be rejected")
+	}
+	if _, err := ParseMix("snapshot=x"); err == nil {
+		t.Fatal("non-numeric weight should be rejected")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000µs uniform: the p50 bucket edge must sit within one bucket
+	// ratio (2^(1/8) ≈ 1.09) above the true percentile.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 1000*time.Microsecond {
+		t.Fatalf("extremes = %v %v", h.Min(), h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.9, 900 * time.Microsecond}, {0.99, 990 * time.Microsecond}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || got > tc.want*5/4 {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, tc.want, tc.want*5/4)
+		}
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Errorf("Quantile(1) = %v, want max %v", q, h.Max())
+	}
+	if q := h.Quantile(0); q != h.Min() {
+		t.Errorf("Quantile(0) = %v, want min %v", q, h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 200; i++ {
+		d := time.Duration(i) * 37 * time.Microsecond
+		whole.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max = %d/%v/%v, want %d/%v/%v",
+			a.Count(), a.Min(), a.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Minute) // beyond histMax: overflow bucket
+	h.Observe(time.Millisecond)
+	if h.Max() != 10*time.Minute {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if q := h.Quantile(0.99); q != 10*time.Minute {
+		t.Fatalf("Quantile(0.99) = %v, want the exact overflow max", q)
+	}
+}
+
+// startTestServer brings up an in-process pdrserve equivalent with a small
+// seeded workload, matching the smoke-test regime scripts/check.sh runs.
+func startTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.HistM = 50
+	cfg.L = 60
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+
+	gcfg := datagen.DefaultConfig(200)
+	gcfg.Seed = 7
+	g, err := datagen.New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req service.LoadRequest
+	for _, s := range g.InitialStates() {
+		req.States = append(req.States, wire.FromState(wire.KindState, s, 0))
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load status %d", resp.StatusCode)
+	}
+	return ts
+}
+
+// TestLoadHarnessSmoke drives the full harness against an in-process
+// server: mixed traffic, non-zero throughput, zero errors, well-formed
+// BENCH JSON. scripts/check.sh runs exactly this test as its pdrload
+// smoke step.
+func TestLoadHarnessSmoke(t *testing.T) {
+	ts := startTestServer(t)
+	rep, err := Run(Config{
+		BaseURL:  ts.URL,
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		Warmup:   30 * time.Millisecond,
+		Mix:      Mix{Snapshot: 6, Interval: 1, Stats: 1},
+		Varrho:   3,
+		L:        60,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests <= 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", rep.ThroughputRPS)
+	}
+	if rep.P50Nanos <= 0 || rep.P99Nanos < rep.P50Nanos || rep.MaxNanos < rep.P99Nanos {
+		t.Fatalf("latency ordering broken: p50=%d p99=%d max=%d", rep.P50Nanos, rep.P99Nanos, rep.MaxNanos)
+	}
+	if rep.SampleTraceID == "" {
+		t.Fatal("no X-Pdr-Trace-Id captured (tracing is on by default)")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH_load.json is not valid JSON: %v", err)
+	}
+	if back.Kind != "load" || back.Requests != rep.Requests || back.Workers != 2 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.PerClass["snapshot"].Requests == 0 {
+		t.Fatal("snapshot class saw no traffic")
+	}
+}
+
+// TestRunRejectsBadTarget verifies the fail-fast probe.
+func TestRunRejectsBadTarget(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://127.0.0.1:1", Duration: 50 * time.Millisecond}); err == nil {
+		t.Fatal("expected probe failure against a closed port")
+	}
+}

@@ -132,9 +132,23 @@ func (m *Monitor) NumSubscriptions() int { return len(m.subs) }
 // Advance forwards the tick to the server, then re-evaluates every due
 // standing query and returns the resulting events in subscription order.
 func (m *Monitor) Advance(now motion.Tick, updates []motion.Update) ([]Event, error) {
-	if err := m.srv.Tick(now, updates); err != nil {
+	return m.AdvanceTraced(now, updates, nil)
+}
+
+// AdvanceTraced is Advance recording the tick and the per-subscription
+// re-evaluations as a span subtree of sp, so a traced /v1/updates request
+// shows exactly which standing query made it slow. A nil sp traces
+// nothing and allocates nothing.
+func (m *Monitor) AdvanceTraced(now motion.Tick, updates []motion.Update, sp *telemetry.Span) ([]Event, error) {
+	tsp := sp.Child("tick")
+	tsp.SetAttrInt("updates", int64(len(updates)))
+	err := m.srv.Tick(now, updates)
+	tsp.End()
+	if err != nil {
 		return nil, err
 	}
+	msp := sp.Child("monitor")
+	msp.SetAttrInt("subscriptions", int64(len(m.subs)))
 	var events []Event
 	for id := 1; id <= m.nextID; id++ {
 		s, ok := m.subs[id]
@@ -144,8 +158,12 @@ func (m *Monitor) Advance(now motion.Tick, updates []motion.Update) ([]Event, er
 		if s.ran && now-s.lastRun < s.q.Every {
 			continue
 		}
-		ev, err := m.evaluate(s, now)
+		esp := msp.Child("subscription")
+		esp.SetAttrInt("sub", int64(id))
+		ev, err := m.evaluate(s, now, esp)
+		esp.End()
 		if err != nil {
+			msp.End()
 			return events, err
 		}
 		events = append(events, ev)
@@ -153,13 +171,14 @@ func (m *Monitor) Advance(now motion.Tick, updates []motion.Update) ([]Event, er
 			m.met.events.Inc()
 		}
 	}
+	msp.End()
 	return events, nil
 }
 
-func (m *Monitor) evaluate(s *sub, now motion.Tick) (Event, error) {
+func (m *Monitor) evaluate(s *sub, now motion.Tick, sp *telemetry.Span) (Event, error) {
 	target := now + s.q.Ahead
 	sw := stopwatch.Start()
-	res, err := m.srv.Snapshot(core.Query{Rho: s.q.Rho, L: s.q.L, At: target}, s.q.Method)
+	res, err := m.srv.SnapshotTraced(core.Query{Rho: s.q.Rho, L: s.q.L, At: target}, s.q.Method, sp)
 	if err != nil {
 		return Event{}, err
 	}
@@ -177,6 +196,7 @@ func (m *Monitor) evaluate(s *sub, now motion.Tick) (Event, error) {
 	s.prev = res.Region
 	s.lastRun = now
 	s.ran = true
+	sp.SetAttrBool("changed", ev.Changed())
 	// The evaluation cost a subscriber pays is the snapshot plus the diff.
 	if m.met != nil {
 		m.met.eval.Observe(sw.Elapsed().Seconds())

@@ -117,5 +117,21 @@ spawn:
 	}
 }
 
+// ForEachSpan is ForEach with per-item tracing: item i runs bracketed by
+// Begin/End on spans.At(i), so every fan-out records one child span per
+// item with its own start offset and duration. Span slots come from the
+// parent's Fork, pre-appended in index order — the tree shape is
+// deterministic at any worker count, only the timings differ. A nil
+// spans traces nothing and costs nothing (nil-receiver no-ops), so call
+// sites need no "is tracing on" branches.
+func (p *Pool) ForEachSpan(n int, spans telemetry.Spans, fn func(i int, sp *telemetry.Span)) {
+	p.ForEach(n, func(i int) {
+		sp := spans.At(i)
+		sp.Begin()
+		fn(i, sp)
+		sp.End()
+	})
+}
+
 // recovered boxes a recovered panic value for atomic hand-off.
 type recovered struct{ value any }

@@ -37,8 +37,14 @@ import (
 	"pdr/internal/motion"
 	"pdr/internal/storage"
 	"pdr/internal/telemetry"
+	"pdr/internal/tracestore"
 	"pdr/internal/wire"
 )
+
+// DefaultTraceBuffer is the trace-store recency-ring capacity used when
+// WithTracing is not given; the slowest-kept reservoir is sized at a
+// quarter of the ring.
+const DefaultTraceBuffer = 256
 
 // Service wraps a core.Server with an HTTP API.
 type Service struct {
@@ -55,6 +61,17 @@ type Service struct {
 	reg  *telemetry.Registry
 	met  *core.Metrics
 	slow *slowQueryLog // nil unless WithSlowQueryLog was given
+	// tracer samples and stores request traces; nil when tracing is
+	// disabled (trace buffer 0). Internally synchronized — handlers use it
+	// without mu.
+	tracer *tracer
+	// rts is the lazily-refreshed runtime sample behind the pdr_go_*
+	// gauges and the /v1/stats runtime fields; internally synchronized.
+	rts   *telemetry.RuntimeStats
+	start time.Time // construction instant, for uptime
+
+	traceSample float64
+	traceBuffer int
 }
 
 // Option customizes a Service at construction.
@@ -75,13 +92,40 @@ func WithSlowQueryLog(threshold time.Duration, w io.Writer) Option {
 	}
 }
 
+// WithSlowQueryCap bounds the slow-query log at maxLines written lines;
+// beyond the cap, lines are dropped (and counted on
+// pdr_http_slow_log_dropped_total) so a long-running server can never
+// grow the log without limit. 0 means unbounded.
+func WithSlowQueryCap(maxLines int64) Option {
+	return func(s *Service) {
+		if s.slow != nil {
+			s.slow.maxLines = maxLines
+		}
+	}
+}
+
+// WithTracing configures request tracing: sample is the head-sampling
+// probability in [0, 1] (1 = trace everything, the default; 0 = trace
+// nothing), buffer is the trace-store recency-ring capacity (0 disables
+// tracing entirely and removes the per-request trace machinery). See
+// docs/OBSERVABILITY.md "Tracing".
+func WithTracing(sample float64, buffer int) Option {
+	return func(s *Service) {
+		s.traceSample = sample
+		s.traceBuffer = buffer
+	}
+}
+
 // New creates a service over a fresh engine.
 func New(cfg core.Config, opts ...Option) (*Service, error) {
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{srv: srv, mon: monitor.New(srv), mux: http.NewServeMux()}
+	s := &Service{
+		srv: srv, mon: monitor.New(srv), mux: http.NewServeMux(),
+		start: time.Now(), traceSample: 1, traceBuffer: DefaultTraceBuffer,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -98,7 +142,25 @@ func New(cfg core.Config, opts ...Option) (*Service, error) {
 	if s.slow != nil {
 		s.slow.count = s.reg.Counter("pdr_http_slow_queries_total",
 			"Requests that exceeded the slow-query threshold.")
+		s.slow.dropped = s.reg.Counter("pdr_http_slow_log_dropped_total",
+			"Slow-query log lines dropped by the entry cap.")
 	}
+	if s.traceBuffer > 0 {
+		store := tracestore.New(s.traceBuffer, (s.traceBuffer+3)/4)
+		store.SetMetrics(tracestore.NewMetrics(s.reg))
+		s.tracer = &tracer{
+			store: store,
+			rate:  s.traceSample,
+			sampled: s.reg.Counter("pdr_trace_sampled_total",
+				"Requests traced and stored in the trace store."),
+			dropped: s.reg.Counter("pdr_trace_dropped_total",
+				"Requests not traced (head sampling decided against)."),
+		}
+	}
+	s.rts = telemetry.NewRuntimeStats(s.reg)
+	s.reg.GaugeFunc("pdr_process_uptime_seconds",
+		"Seconds since the service was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	s.registerWatchRoutes()
 	s.handle("POST /v1/load", s.handleLoad)
 	s.handle("POST /v1/updates", s.handleUpdates)
@@ -114,6 +176,11 @@ func New(cfg core.Config, opts ...Option) (*Service, error) {
 	// The scrape path is registered raw: instrumenting it would make every
 	// scrape mutate the very series it is reading.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The trace-inspection paths are registered raw too: reading traces
+	// must never generate traces, or an idle debugging session fills the
+	// very ring it is inspecting.
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	return s, nil
 }
 
@@ -225,7 +292,7 @@ func (s *Service) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	events, err := s.mon.Advance(req.Now, ups)
+	events, err := s.mon.AdvanceTraced(req.Now, ups, requestSpan(r))
 	if err != nil {
 		httpError(w, http.StatusConflict, "tick: %v", err)
 		return
@@ -319,13 +386,13 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		until = &end
-		res, err = s.srv.Interval(q, end, method)
+		res, err = s.srv.IntervalTraced(q, end, method, requestSpan(r))
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
 	} else {
-		res, err = s.srv.Snapshot(q, method)
+		res, err = s.srv.SnapshotTraced(q, method, requestSpan(r))
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -425,6 +492,15 @@ type StatsResponse struct {
 	CacheBytes         int64   `json:"cacheBytes"`
 	CacheEntries       int64   `json:"cacheEntries"`
 	CacheHitRatio      float64 `json:"cacheHitRatio"`
+	// Process runtime: the same sample behind /metrics' uptime gauge and
+	// pdr_go_goroutines.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Goroutines    int     `json:"goroutines"`
+	// Trace sampling counters: the same instruments /metrics exposes as
+	// pdr_trace_sampled_total / pdr_trace_dropped_total (zero when tracing
+	// is disabled).
+	TraceSampled int64 `json:"traceSampled"`
+	TraceDropped int64 `json:"traceDropped"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -432,6 +508,11 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	defer s.mu.RUnlock()
 	st := s.srv.Pool().Stats()
 	cst := s.srv.CacheStats()
+	var traceSampled, traceDropped int64
+	if s.tracer != nil {
+		traceSampled = s.tracer.sampled.Value()
+		traceDropped = s.tracer.dropped.Value()
+	}
 	writeJSON(w, StatsResponse{
 		Now:                s.srv.Now(),
 		Objects:            s.srv.NumObjects(),
@@ -452,6 +533,10 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheBytes:         cst.Bytes,
 		CacheEntries:       cst.Entries,
 		CacheHitRatio:      cst.HitRatio(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Goroutines:         s.rts.Goroutines(),
+		TraceSampled:       traceSampled,
+		TraceDropped:       traceDropped,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdr/internal/core"
@@ -17,10 +18,16 @@ import (
 	"pdr/internal/telemetry"
 )
 
+// TraceIDHeader is the response header carrying the request's trace ID;
+// the same ID appears in the slow-query log and resolves at
+// GET /debug/traces/{id} while the trace store retains the trace.
+const TraceIDHeader = "X-Pdr-Trace-Id"
+
 // handle registers pattern on the mux wrapped in the telemetry middleware:
-// per-route latency histograms, per-route/status request counters, and the
-// slow-query log. The route label is the path part of the pattern, so
-// cardinality stays bounded by the API surface, never by client input.
+// per-route latency histograms, per-route/status request counters, request
+// tracing, and the slow-query log. The route label is the path part of the
+// pattern, so cardinality stays bounded by the API surface, never by
+// client input.
 func (s *Service) handle(pattern string, h http.HandlerFunc) {
 	route := pattern
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
@@ -30,18 +37,40 @@ func (s *Service) handle(pattern string, h http.HandlerFunc) {
 		"HTTP request latency by route.", nil, telemetry.L("route", route))
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		detail := &queryDetail{}
+		var tr *telemetry.Trace
+		if s.tracer != nil {
+			tr = s.tracer.maybeStart(route)
+		}
+		if tr != nil {
+			// The header goes out before the handler writes the status
+			// line; the body of the trace fills in as the request runs.
+			detail.span = tr.Root()
+			w.Header().Set(TraceIDHeader, tr.ID().String())
+		}
 		r = r.WithContext(context.WithValue(r.Context(), detailKey{}, detail))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		sw := stopwatch.Start()
 		h(rec, r)
-		elapsed := sw.Elapsed()
+		var elapsed time.Duration
+		var traceID telemetry.TraceID
+		if tr != nil {
+			// The trace's root duration is the request duration: the slow
+			// log, the latency histogram, and /debug/traces/{id} all report
+			// the same measurement for a traced request.
+			tr.End()
+			elapsed = tr.Duration()
+			traceID = tr.ID()
+			s.tracer.finish(tr, route, r, rec.status, elapsed)
+		} else {
+			elapsed = sw.Elapsed()
+		}
 		latency.Observe(elapsed.Seconds())
 		s.reg.Counter("pdr_http_requests_total",
 			"HTTP requests by route and status.",
 			telemetry.L("route", route),
 			telemetry.L("status", strconv.Itoa(rec.status))).Inc()
 		if s.slow != nil {
-			s.slow.maybeLog(route, r, rec.status, elapsed, detail)
+			s.slow.maybeLog(route, r, rec.status, elapsed, detail, traceID)
 		}
 	})
 }
@@ -83,6 +112,21 @@ type queryDetail struct {
 	wall   time.Duration
 	cached bool
 	phases []telemetry.PhaseSpan
+	// span is the request's root span when the request is traced; handlers
+	// fetch it via requestSpan to hang engine subtrees off it. Nil when
+	// tracing is off or the request was sampled out.
+	span *telemetry.Span
+}
+
+// requestSpan returns the request's root span, nil for untraced requests
+// (tracing disabled, sampled out, or a request that bypassed the
+// middleware, e.g. a direct handler test).
+func requestSpan(r *http.Request) *telemetry.Span {
+	d, ok := r.Context().Value(detailKey{}).(*queryDetail)
+	if !ok {
+		return nil
+	}
+	return d.span
 }
 
 // annotateQuery records engine result detail on the request's carrier (a
@@ -105,23 +149,34 @@ func annotateQuery(r *http.Request, q core.Query, until *motion.Tick, method str
 }
 
 // slowQueryLog writes one structured JSON line per request slower than the
-// threshold. Handlers run concurrently, so the writer is mutex-guarded.
+// threshold, up to maxLines lines. Handlers run concurrently, so the
+// writer is mutex-guarded.
 type slowQueryLog struct {
 	threshold time.Duration
-	count     *telemetry.Counter
-	mu        sync.Mutex
-	w         io.Writer // guarded by mu
+	// maxLines caps the lines ever written (0 = unbounded); beyond it,
+	// slow requests still count on the slow-query counter but their lines
+	// are dropped and counted on dropped — a long-running server cannot
+	// grow the log file without limit.
+	maxLines int64
+	count    *telemetry.Counter
+	dropped  *telemetry.Counter
+	written  atomic.Int64
+	mu       sync.Mutex
+	w        io.Writer // guarded by mu
 }
 
 // slowQueryLine is the JSON schema of one slow-query log record.
 type slowQueryLine struct {
-	Time           string           `json:"time"`
-	Route          string           `json:"route"`
-	HTTPMethod     string           `json:"httpMethod"`
-	URL            string           `json:"url"`
-	Status         int              `json:"status"`
-	DurationMicros int64            `json:"durationMicros"`
-	Query          *slowQueryDetail `json:"query,omitempty"`
+	Time           string `json:"time"`
+	Route          string `json:"route"`
+	HTTPMethod     string `json:"httpMethod"`
+	URL            string `json:"url"`
+	Status         int    `json:"status"`
+	DurationMicros int64  `json:"durationMicros"`
+	// TraceID resolves at GET /debug/traces/{id} while the trace store
+	// retains the trace; absent for untraced requests.
+	TraceID string           `json:"traceId,omitempty"`
+	Query   *slowQueryDetail `json:"query,omitempty"`
 }
 
 type slowQueryDetail struct {
@@ -142,11 +197,15 @@ type phaseSpanJSON struct {
 	Micros int64  `json:"micros"`
 }
 
-func (l *slowQueryLog) maybeLog(route string, r *http.Request, status int, elapsed time.Duration, d *queryDetail) {
+func (l *slowQueryLog) maybeLog(route string, r *http.Request, status int, elapsed time.Duration, d *queryDetail, traceID telemetry.TraceID) {
 	if elapsed < l.threshold {
 		return
 	}
 	l.count.Inc()
+	if l.maxLines > 0 && l.written.Add(1) > l.maxLines {
+		l.dropped.Inc()
+		return
+	}
 	line := slowQueryLine{
 		Time:           time.Now().UTC().Format(time.RFC3339Nano),
 		Route:          route,
@@ -154,6 +213,9 @@ func (l *slowQueryLog) maybeLog(route string, r *http.Request, status int, elaps
 		URL:            r.URL.String(),
 		Status:         status,
 		DurationMicros: elapsed.Microseconds(),
+	}
+	if traceID != 0 {
+		line.TraceID = traceID.String()
 	}
 	if d != nil && d.set {
 		q := &slowQueryDetail{

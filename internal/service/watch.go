@@ -71,7 +71,7 @@ func (s *Service) handlePast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := core.Query{Rho: rho, L: l, At: at}
-	res, err := s.srv.PastSnapshot(q)
+	res, err := s.srv.PastSnapshotTraced(q, requestSpan(r))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return

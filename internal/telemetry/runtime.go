@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeStats publishes Go runtime health as pdr_go_* gauges: heap size,
+// GC activity, goroutine count, and a scheduler-latency proxy (how long
+// runnable goroutines wait for a thread — the first thing to climb when
+// the worker pool oversubscribes the host). There is no background
+// goroutine: the gauges are GaugeFuncs over one cached runtime sample
+// refreshed lazily, at most once per refreshInterval, on whichever path
+// reads first (a /metrics scrape or /v1/stats). ReadMemStats stops the
+// world briefly, so the refresh cap also bounds the collector's own cost.
+type RuntimeStats struct {
+	mu   sync.Mutex
+	last time.Time // zero value forces the first refresh
+
+	goroutines   int
+	heapAlloc    uint64
+	heapSys      uint64
+	heapObjects  uint64
+	gcCycles     uint32
+	gcPauseTotal time.Duration
+	schedP50     float64
+	schedP99     float64
+}
+
+const runtimeRefreshInterval = time.Second
+
+// NewRuntimeStats registers the runtime gauges plus pdr_build_info on reg
+// and returns the collector (also the backing store for /v1/stats, so the
+// two surfaces read the same sample).
+func NewRuntimeStats(reg *Registry) *RuntimeStats {
+	rs := &RuntimeStats{}
+	reg.GaugeFunc("pdr_go_goroutines", "Live goroutines.",
+		func() float64 { return float64(rs.Goroutines()) })
+	reg.GaugeFunc("pdr_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { rs.refresh(); return float64(rs.heapAlloc) })
+	reg.GaugeFunc("pdr_go_heap_sys_bytes", "Bytes of heap obtained from the OS.",
+		func() float64 { rs.refresh(); return float64(rs.heapSys) })
+	reg.GaugeFunc("pdr_go_heap_objects", "Live heap objects.",
+		func() float64 { rs.refresh(); return float64(rs.heapObjects) })
+	reg.GaugeFunc("pdr_go_gc_cycles", "Completed GC cycles.",
+		func() float64 { rs.refresh(); return float64(rs.gcCycles) })
+	reg.GaugeFunc("pdr_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { rs.refresh(); return rs.gcPauseTotal.Seconds() })
+	reg.GaugeFunc("pdr_go_sched_latency_p50_seconds",
+		"Median time runnable goroutines waited for a thread (scheduler pressure proxy).",
+		func() float64 { rs.refresh(); return rs.schedP50 })
+	reg.GaugeFunc("pdr_go_sched_latency_p99_seconds",
+		"p99 time runnable goroutines waited for a thread (scheduler pressure proxy).",
+		func() float64 { rs.refresh(); return rs.schedP99 })
+	reg.Gauge("pdr_build_info", "Build metadata; the value is always 1.",
+		L("goversion", runtime.Version()),
+		L("revision", buildRevision())).Set(1)
+	return rs
+}
+
+// Goroutines returns the live goroutine count from the cached sample.
+func (rs *RuntimeStats) Goroutines() int {
+	rs.refresh()
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.goroutines
+}
+
+// refresh re-samples the runtime if the cached sample is stale.
+func (rs *RuntimeStats) refresh() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.last.IsZero() && time.Since(rs.last) < runtimeRefreshInterval {
+		return
+	}
+	rs.last = time.Now()
+	rs.goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs.heapAlloc = ms.HeapAlloc
+	rs.heapSys = ms.HeapSys
+	rs.heapObjects = ms.HeapObjects
+	rs.gcCycles = ms.NumGC
+	rs.gcPauseTotal = time.Duration(ms.PauseTotalNs)
+	samples := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[0].Value.Float64Histogram()
+		rs.schedP50 = histQuantile(h, 0.50)
+		rs.schedP99 = histQuantile(h, 0.99)
+	}
+}
+
+// histQuantile reads quantile q off a runtime/metrics histogram, returning
+// the upper bound of the bucket the quantile falls in (conservative). The
+// runtime's first/last bucket boundaries can be ±Inf; those collapse to
+// the nearest finite neighbor so the gauges stay plottable.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 0) || math.IsNaN(hi) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// buildRevision extracts the VCS revision stamped into the binary, or
+// "unknown" for builds outside a checkout (go test, stripped builds).
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
+}

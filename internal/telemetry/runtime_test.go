@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeStatsGauges(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeStats(reg)
+	if got := rs.Goroutines(); got <= 0 {
+		t.Errorf("Goroutines() = %d, want > 0", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"pdr_go_goroutines", "pdr_go_heap_alloc_bytes", "pdr_go_heap_sys_bytes",
+		"pdr_go_heap_objects", "pdr_go_gc_cycles", "pdr_go_gc_pause_seconds_total",
+		"pdr_go_sched_latency_p50_seconds", "pdr_go_sched_latency_p99_seconds",
+		"pdr_build_info",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition is missing %s", name)
+		}
+	}
+	if !strings.Contains(text, `pdr_build_info{goversion="go`) {
+		t.Error("pdr_build_info is missing the goversion label")
+	}
+	if !strings.Contains(text, "pdr_build_info{") || !strings.Contains(text, "} 1") {
+		t.Error("pdr_build_info value is not 1")
+	}
+	// The cached sample refreshes lazily; a second read must not race or
+	// re-register (GaugeFunc re-registration panics on signature reuse).
+	if rs.Goroutines() <= 0 {
+		t.Error("second sample read failed")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -236,39 +235,6 @@ func TestScrapeDuringLazyRegistration(t *testing.T) {
 	}
 	if got := strings.Count(b.String(), "pdr_lazy_total{"); got != workers*iters {
 		t.Errorf("exposed %d pdr_lazy_total samples, want %d", got, workers*iters)
-	}
-}
-
-func TestTracePhases(t *testing.T) {
-	tr := NewTrace()
-	tr.Phase("filter")
-	time.Sleep(time.Millisecond)
-	tr.Phase("refine")
-	tr.Phase("union")
-	tr.End()
-	tr.End() // idempotent
-	spans := tr.Spans()
-	names := make([]string, len(spans))
-	for i, s := range spans {
-		names[i] = s.Name
-		if s.Duration < 0 {
-			t.Errorf("phase %s has negative duration %v", s.Name, s.Duration)
-		}
-	}
-	if got, want := strings.Join(names, ","), "filter,refine,union"; got != want {
-		t.Errorf("phases = %s, want %s", got, want)
-	}
-	if spans[0].Duration < time.Millisecond {
-		t.Errorf("filter phase %v, want >= 1ms", spans[0].Duration)
-	}
-}
-
-func TestNilTraceIsNoop(t *testing.T) {
-	var tr *Trace
-	tr.Phase("x")
-	tr.End()
-	if tr.Spans() != nil {
-		t.Error("nil trace returned spans")
 	}
 }
 

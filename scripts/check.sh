@@ -45,8 +45,11 @@ go test -race ./internal/service/... ./internal/monitor/...
 step "go test -race (engine read path + sweep scratch reuse + result cache)"
 go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage ./internal/cache
 
-step "telemetry (race on the atomic registry + instrumented service)"
-go test -race ./internal/telemetry ./internal/service
+step "telemetry (race on the atomic registry + trace store + instrumented service)"
+go test -race ./internal/telemetry ./internal/tracestore ./internal/service
+
+step "pdrload smoke (in-process server, non-zero throughput, valid JSON)"
+go test -run TestLoadHarnessSmoke -count=1 ./internal/loadgen
 
 step "fuzz smoke: geometry area identity (${FUZZ_SECS}s)"
 go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime "${FUZZ_SECS}s" ./internal/geom/
