@@ -6,13 +6,15 @@
 //	pdrbench [-exp all] [-n 100000] [-queries 5] [-warm 20] [-seed 1] [-sizes 10000,50000,100000]
 //
 // Experiments: table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b,
-// fig10a, fig10b, interval, parallel, cache, baselines, ablations, all.
-// Absolute numbers depend on the host; the paper's shapes (who wins, by what
-// factor) are the reproduction target. "parallel" (worker-pool scaling) and
-// "cache" (result-cache cold/warm/sliding workloads) are host-dependent by
-// design and not part of "all"; with -benchjson DIR they record
-// BENCH_interval.json + BENCH_snapshot.json and BENCH_cache.json
-// respectively (see docs/PERFORMANCE.md).
+// fig10a, fig10b, interval, parallel, cache, shard, baselines, ablations,
+// all. Absolute numbers depend on the host; the paper's shapes (who wins, by
+// what factor) are the reproduction target. "parallel" (worker-pool
+// scaling), "cache" (result-cache cold/warm/sliding workloads), and "shard"
+// (unsharded vs space-partitioned engines under read and mixed read/write
+// load) are host-dependent by design and not part of "all"; with
+// -benchjson DIR they record BENCH_interval.json + BENCH_snapshot.json,
+// BENCH_cache.json, and BENCH_shard.json respectively (see
+// docs/PERFORMANCE.md).
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, cache, baselines, ablations, all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, cache, shard, baselines, ablations, all)")
 		n         = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
 		queries   = flag.Int("queries", 5, "queries per parameter point")
 		warm      = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
@@ -39,7 +41,8 @@ func main() {
 		svgDir    = flag.String("svgdir", "", "when set, fig7 also renders SVG plots into this directory")
 		workers   = flag.String("workers", "1,2,4,8", "worker-pool sizes for -exp parallel")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result-cache budget for -exp cache")
-		benchJSON = flag.String("benchjson", "", "when set with -exp parallel or -exp cache, write the BENCH_*.json baselines into this directory")
+		shards    = flag.String("shards", "2,4,8", "shard widths for -exp shard (the unsharded baseline always runs first)")
+		benchJSON = flag.String("benchjson", "", "when set with -exp parallel, -exp cache, or -exp shard, write the BENCH_*.json baselines into this directory")
 	)
 	flag.Parse()
 
@@ -61,8 +64,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	shardList, err := parseSizes(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdrbench: -shards:", err)
+		os.Exit(2)
+	}
+
 	r := experiments.NewRunner(p)
-	if err := run(r, strings.ToLower(*exp), sizeList, workerList, *cacheB, *format == "csv", *svgDir, *benchJSON); err != nil {
+	if err := run(r, strings.ToLower(*exp), sizeList, workerList, shardList, *cacheB, *format == "csv", *svgDir, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "pdrbench:", err)
 		os.Exit(1)
 	}
@@ -87,7 +96,7 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(r *experiments.Runner, exp string, sizes, workers []int, cacheBytes int64, asCSV bool, svgDir, benchJSON string) error {
+func run(r *experiments.Runner, exp string, sizes, workers, shards []int, cacheBytes int64, asCSV bool, svgDir, benchJSON string) error {
 	all := exp == "all"
 	section := func(name, paper string) {
 		fmt.Printf("\n=== %s — %s ===\n", name, paper)
@@ -288,6 +297,35 @@ func run(r *experiments.Runner, exp string, sizes, workers []int, cacheBytes int
 			fmt.Println("wrote", path)
 		}
 	}
+	// The shard study is opt-in for the same reason: it measures this
+	// host's contention relief, not a paper figure.
+	if exp == "shard" {
+		section("Shard (extension)", "unsharded vs space-partitioned engines: snapshot, interval, mixed read/write")
+		bp := experiments.DefaultShardBenchParams()
+		bp.Shards = shards
+		sb, err := r.ShardBench(bp)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintShard(os.Stdout, sb); err != nil {
+			return err
+		}
+		if benchJSON != "" {
+			path := filepath.Join(benchJSON, "BENCH_shard.json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = sb.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+	}
 	if all || exp == "baselines" {
 		section("Baselines", "prior-art methods (Figs 1-3 arguments) quantified vs exact PDR")
 		rows, err := r.BaselineComparison()
@@ -332,7 +370,7 @@ func run(r *experiments.Runner, exp string, sizes, workers []int, cacheBytes int
 	}
 	switch exp {
 	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
-		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "cache", "baselines", "ablations":
+		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "cache", "shard", "baselines", "ablations":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

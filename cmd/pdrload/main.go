@@ -1,14 +1,19 @@
 // Command pdrload is the production load harness: it drives a running
 // pdrserve over persistent connections with a configurable mix of
-// snapshot, interval, and stats requests and reports throughput plus a
-// log-scale latency distribution (p50/p90/p95/p99/max).
+// snapshot / interval / stats reads and tick / apply writes and reports
+// throughput plus a log-scale latency distribution (p50/p90/p95/p99/max),
+// overall and per class. The write classes exist to measure write-vs-read
+// contention: "apply" exercises the shard-local write path (POST /v1/apply,
+// insert+delete of a fresh object), "tick" the global clock-advance path
+// (POST /v1/updates).
 //
 // Usage:
 //
 //	pdrload -url http://localhost:8080 [-c 8] [-duration 10s] [-warmup 2s]
-//	        [-n 0] [-mix snapshot=8,interval=1,stats=1] [-method fr]
-//	        [-l 30] [-varrho 3] [-interval-ticks 5] [-seed 1]
-//	        [-timeout 30s] [-benchjson BENCH_load.json]
+//	        [-n 0] [-mix snapshot=8,interval=1,stats=1,apply=4] [-method fr]
+//	        [-l 30] [-varrho 3] [-interval-ticks 5] [-area-x 1000]
+//	        [-area-y 1000] [-seed 1] [-timeout 30s]
+//	        [-benchjson BENCH_load.json]
 //
 // Example session:
 //
@@ -35,11 +40,13 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "measured phase length")
 		warmup   = flag.Duration("warmup", 0, "warmup phase length (same traffic, discarded)")
 		requests = flag.Int64("n", 0, "stop after this many measured requests (0 = run the full duration)")
-		mixFlag  = flag.String("mix", "snapshot=8,interval=1,stats=1", "request-class weights, class=weight comma-separated")
+		mixFlag  = flag.String("mix", "snapshot=8,interval=1,stats=1", "request-class weights, class=weight comma-separated; classes: snapshot, interval, stats (reads), tick, apply (writes)")
 		method   = flag.String("method", "fr", "query method for the snapshot/interval classes: fr | pa | dh-opt | dh-pess | bf")
 		l        = flag.Float64("l", 30, "neighborhood edge for query classes")
 		varrho   = flag.Float64("varrho", 3, "relative density threshold for query classes")
 		ticks    = flag.Int("interval-ticks", 5, "interval query length: until = now+K")
+		areaX    = flag.Float64("area-x", 1000, "plane width for the apply class (must match the server's area)")
+		areaY    = flag.Float64("area-y", 1000, "plane height for the apply class (must match the server's area)")
 		seed     = flag.Int64("seed", 1, "RNG seed for the request sequence (worker i uses seed+i)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		benchOut = flag.String("benchjson", "", "also write the report as JSON to this path (e.g. BENCH_load.json)")
@@ -56,7 +63,8 @@ func main() {
 		BaseURL: *urlFlag, Workers: *workers,
 		Duration: *duration, Warmup: *warmup, Requests: *requests,
 		Mix: mix, Method: *method, L: *l, Varrho: *varrho,
-		IntervalTicks: *ticks, Seed: *seed, Timeout: *timeout,
+		IntervalTicks: *ticks, AreaMaxX: *areaX, AreaMaxY: *areaY,
+		Seed: *seed, Timeout: *timeout,
 	})
 	if err != nil {
 		log.Fatal("pdrload: ", err)
@@ -70,13 +78,13 @@ func main() {
 	fmt.Printf("percentiles  p50 %v  p90 %v  p95 %v  p99 %v\n",
 		time.Duration(rep.P50Nanos), time.Duration(rep.P90Nanos),
 		time.Duration(rep.P95Nanos), time.Duration(rep.P99Nanos))
-	for _, name := range []string{"snapshot", "interval", "stats"} {
+	for _, name := range []string{"snapshot", "interval", "stats", "tick", "apply"} {
 		cs, ok := rep.PerClass[name]
 		if !ok {
 			continue
 		}
-		fmt.Printf("  %-9s  %6d reqs  p50 %v  p99 %v  max %v\n", name, cs.Requests,
-			time.Duration(cs.P50Nanos), time.Duration(cs.P99Nanos), time.Duration(cs.MaxNanos))
+		fmt.Printf("  %-9s  %6d reqs  %8.1f req/s  p50 %v  p99 %v  max %v\n", name, cs.Requests,
+			cs.ThroughputRPS, time.Duration(cs.P50Nanos), time.Duration(cs.P99Nanos), time.Duration(cs.MaxNanos))
 	}
 	if rep.SampleTraceID != "" {
 		fmt.Printf("sample trace %s/debug/traces/%s\n", *urlFlag, rep.SampleTraceID)

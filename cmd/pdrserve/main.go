@@ -5,9 +5,9 @@
 // Usage:
 //
 //	pdrserve -addr :8080 [-data workload.jsonl] [-l 30] [-histm 100]
-//	         [-workers 0] [-cache-bytes 67108864] [-slow-query 250ms]
-//	         [-slow-query-max 10000] [-trace-sample 1.0] [-trace-buffer 256]
-//	         [-debug-addr localhost:6060]
+//	         [-workers 0] [-shards 1] [-cache-bytes 67108864]
+//	         [-slow-query 250ms] [-slow-query-max 10000] [-trace-sample 1.0]
+//	         [-trace-buffer 256] [-debug-addr localhost:6060]
 //
 // Example session:
 //
@@ -28,6 +28,7 @@ import (
 
 	"pdr/internal/core"
 	"pdr/internal/service"
+	"pdr/internal/shard"
 	"pdr/internal/wire"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		l         = flag.Float64("l", 30, "fixed neighborhood edge for the PA surfaces")
 		histM     = flag.Int("histm", 100, "density histogram resolution per axis")
 		workers   = flag.Int("workers", 0, "query worker-pool size: 0 = GOMAXPROCS, 1 = sequential")
+		shards    = flag.Int("shards", 1, "spatial shards: 1 = single-lock engine; >1 partitions the plane so writes lock only the owning shard (answers are identical; see docs/PERFORMANCE.md \"Sharding\")")
 		cacheB    = flag.Int64("cache-bytes", 0, "result-cache budget in bytes: repeated/interval/monitor queries reuse per-timestamp answers until the next update (0 disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
 		slowMax   = flag.Int64("slow-query-max", 0, "cap the slow-query log at this many lines; further slow requests only count on pdr_http_slow_log_dropped_total (0 = unbounded)")
@@ -61,7 +63,17 @@ func main() {
 		opts = append(opts, service.WithSlowQueryCap(*slowMax))
 	}
 	opts = append(opts, service.WithTracing(*traceRate, *traceBuf))
-	svc, err := service.New(cfg, opts...)
+	var svc *service.Service
+	var err error
+	if *shards > 1 {
+		eng, serr := shard.New(cfg, *shards)
+		if serr != nil {
+			log.Fatal("pdrserve: ", serr)
+		}
+		svc, err = service.NewWithEngine(eng, opts...)
+	} else {
+		svc, err = service.New(cfg, opts...)
+	}
 	if err != nil {
 		log.Fatal("pdrserve: ", err)
 	}

@@ -1,7 +1,10 @@
 package cache
 
 import (
+	"bytes"
 	"errors"
+	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -350,5 +353,27 @@ func TestMetricsMirror(t *testing.T) {
 	}
 	if r := st.HitRatio(); r != 0.5 {
 		t.Errorf("hit ratio = %g, want 0.5", r)
+	}
+}
+
+// TestHitRatioFreshProcess pins the zero-denominator guard: before the
+// first lookup the ratio must be 0, not NaN — NaN in the pdr_cache_hit_ratio
+// gauge breaks a Prometheus scrape of a fresh process.
+func TestHitRatioFreshProcess(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("fresh HitRatio = %v, want 0", r)
+	}
+	reg := telemetry.NewRegistry()
+	NewMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if strings.Contains(body, "NaN") {
+		t.Fatalf("fresh exposition contains NaN:\n%s", body)
+	}
+	if !strings.Contains(body, "pdr_cache_hit_ratio 0") {
+		t.Fatalf("fresh exposition missing zero hit ratio:\n%s", body)
 	}
 }

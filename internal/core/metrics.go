@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"pdr/internal/parallel"
 	"pdr/internal/telemetry"
 )
 
@@ -100,6 +101,34 @@ func (m *Metrics) observeInterval(snapshots int64, wall time.Duration) {
 	m.fanout.Add(snapshots)
 	m.fanoutHist.Observe(float64(snapshots))
 	m.intervalWall.Observe(wall.Seconds())
+}
+
+// Observe records one completed snapshot result — the exported entry point
+// for embedding engines (internal/shard) that share the instrument bundle.
+func (m *Metrics) Observe(res *Result) { m.observe(res) }
+
+// ObserveInterval records an interval query's fan-out and wall latency (see
+// observeInterval); exported for embedding engines.
+func (m *Metrics) ObserveInterval(snapshots int64, wall time.Duration) {
+	m.observeInterval(snapshots, wall)
+}
+
+// ObserveRefineFanout records one FR refinement fan-out width; exported for
+// embedding engines.
+func (m *Metrics) ObserveRefineFanout(windows int) {
+	m.refineFanout.Observe(float64(windows))
+}
+
+// IncError counts one rejected or failed query; exported for embedding
+// engines.
+func (m *Metrics) IncError() { m.errors.Inc() }
+
+// BindWorkerPool points the worker-pool gauges at p — what SetMetrics does
+// for the server's own pool; exported for embedding engines with their own
+// fan-out pool.
+func (m *Metrics) BindWorkerPool(p *parallel.Pool) {
+	m.workers.Set(float64(p.Workers()))
+	p.SetBusyGauge(m.busy)
 }
 
 // QueriesServed returns the per-method query counts — the shared source of

@@ -35,6 +35,9 @@ func (s *Server) Recommend(q Query, allowApprox bool) (*Plan, error) {
 	if !allowApprox {
 		return &Plan{Method: FR, Reason: "exact answer required"}, nil
 	}
+	if s.surf == nil {
+		return &Plan{Method: FR, Reason: "approximation surfaces are disabled"}, nil
+	}
 	// lint:ignore floateq config identity: the surfaces answer only the
 	// exact l they were built for, so the planner must match it exactly.
 	if q.L != s.surf.L() {

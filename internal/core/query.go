@@ -328,6 +328,9 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, sp *telemetry.Span) erro
 }
 
 func (s *Server) snapshotPALocked(q Query, res *Result, sp *telemetry.Span) error {
+	if s.surf == nil {
+		return fmt.Errorf("core: PA surfaces are disabled on this server (Config.DisablePA)")
+	}
 	// lint:ignore floateq config identity: the surfaces answer only the
 	// exact l they were built for; a nearly-equal l must be rejected too.
 	if q.L != s.surf.L() {

@@ -113,6 +113,12 @@ type Config struct {
 	// answers until the next mutation supersedes them (see
 	// docs/PERFORMANCE.md, "Result cache").
 	CacheBytes int64
+	// DisablePA skips building and maintaining the Chebyshev surfaces: PA
+	// queries are rejected and Surface returns nil. The sharded engine sets
+	// it on its per-shard servers, which answer PA from one engine-global
+	// surface instead (per-shard float accumulation would not merge
+	// bit-identically; see docs/PERFORMANCE.md, "Sharding").
+	DisablePA bool
 }
 
 // DefaultConfig returns the paper's default experimental setup (Table 1,
@@ -195,12 +201,15 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	surf, err := pa.New(pa.Config{
-		Area: cfg.Area, G: cfg.PAGrid, Degree: cfg.PADegree,
-		Horizon: horizon, L: cfg.L, MD: cfg.PAMD,
-	})
-	if err != nil {
-		return nil, err
+	var surf *pa.Surface
+	if !cfg.DisablePA {
+		surf, err = pa.New(pa.Config{
+			Area: cfg.Area, G: cfg.PAGrid, Degree: cfg.PADegree,
+			Horizon: horizon, L: cfg.L, MD: cfg.PAMD,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	pool := storage.NewPool(cfg.BufferPages)
 	var index Index
@@ -309,7 +318,9 @@ func (s *Server) Load(states []motion.State) error {
 		}
 		s.live[st.ID] = st
 		s.hist.Insert(st)
-		s.surf.Insert(st)
+		if s.surf != nil {
+			s.surf.Insert(st)
+		}
 	}
 	return bl.BulkLoad(states)
 }
@@ -327,7 +338,9 @@ func (s *Server) Tick(now motion.Tick, updates []motion.Update) error {
 	}
 	s.now = now
 	s.hist.Advance(now)
-	s.surf.Advance(now)
+	if s.surf != nil {
+		s.surf.Advance(now)
+	}
 	s.index.SetNow(now)
 	for _, u := range updates {
 		if err := s.applyLocked(u); err != nil {
@@ -362,7 +375,9 @@ func (s *Server) applyInsertLocked(st motion.State) error {
 	}
 	s.live[st.ID] = st
 	s.hist.Insert(st)
-	s.surf.Insert(st)
+	if s.surf != nil {
+		s.surf.Insert(st)
+	}
 	s.index.Insert(st)
 	return nil
 }
@@ -377,7 +392,9 @@ func (s *Server) applyDeleteLocked(st motion.State, at motion.Tick) error {
 	}
 	delete(s.live, st.ID)
 	s.hist.Delete(st, at)
-	s.surf.Delete(st, at)
+	if s.surf != nil {
+		s.surf.Delete(st, at)
+	}
 	if !s.index.Delete(st) {
 		return fmt.Errorf("core: object %d missing from the index", st.ID)
 	}

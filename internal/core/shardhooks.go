@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"pdr/internal/cache"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/pa"
+	"pdr/internal/storage"
+	"pdr/internal/telemetry"
+)
+
+// This file is the server surface the sharded engine (internal/shard) builds
+// on: gather primitives for scatter-gather queries, replica maintenance for
+// boundary-straddling objects, and flat adapters over the substrates so the
+// HTTP service can run against either a single server or a shard.Engine
+// through one interface. Each method takes the server's own lock; cross-call
+// consistency is the engine's job (it serializes its shards against queries
+// with its own per-shard locks).
+
+// SearchWindow retrieves every indexed movement whose predicted position at
+// qt lies in r (closed containment), streaming states to fn until it returns
+// false. On a sharded server the results include replica registrations, so a
+// cross-shard gather must dedup by object ID.
+func (s *Server) SearchWindow(r geom.Rect, qt motion.Tick, fn func(motion.State) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.index.Search(r, qt, fn)
+}
+
+// AppendLivePoints appends the predicted position at qt of every live object
+// that is inside the monitored area then (the population contract) and
+// returns the extended slice. Replica registrations are not live here, so
+// concatenating across shards needs no dedup.
+func (s *Server) AppendLivePoints(points []geom.Point, qt motion.Tick) []geom.Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, st := range s.live {
+		p := st.PositionAt(qt)
+		if s.cfg.Area.Contains(p) {
+			points = append(points, p)
+		}
+	}
+	return points
+}
+
+// AppendPastPoints appends every archived and still-live position valid at
+// the past timestamp qt — the same gather PastSnapshot performs — and
+// returns the extended slice. Requires Config.KeepHistory.
+func (s *Server) AppendPastPoints(points []geom.Point, qt motion.Tick) ([]geom.Point, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.hst == nil {
+		return points, fmt.Errorf("core: history is disabled (set Config.KeepHistory)")
+	}
+	points = append(points, s.hst.PointsAt(qt)...)
+	for _, st := range s.live {
+		if st.Ref > qt {
+			continue // this movement did not exist yet at qt
+		}
+		p := st.PositionAt(qt)
+		if s.cfg.Area.Contains(p) {
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// ApplyReplica registers or removes a boundary-straddling object's replica:
+// only the index learns the movement, never the live set, the histogram, the
+// surfaces, or the archive, so the per-shard summaries stay exactly additive
+// over disjoint primary populations.
+func (s *Server) ApplyReplica(u motion.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	switch u.Kind {
+	case motion.Insert:
+		s.index.Insert(u.State)
+		return nil
+	case motion.Delete:
+		if !s.index.Delete(u.State) {
+			return fmt.Errorf("core: replica of object %d missing from the index", u.State.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown update kind %d", u.Kind)
+	}
+}
+
+// LoadShard bulk-loads one shard's slice of the initial population: own
+// states enter every structure (live set, histogram, surfaces, index),
+// replica states enter the index only. The index portion uses packed bulk
+// loading when available, like Load.
+func (s *Server) LoadShard(own, replicas []motion.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	bl, bulk := s.index.(bulkLoader)
+	if !bulk || s.index.Len() > 0 {
+		for _, st := range own {
+			if err := s.applyInsertLocked(st); err != nil {
+				return err
+			}
+		}
+		for _, st := range replicas {
+			s.index.Insert(st)
+		}
+		return nil
+	}
+	for _, st := range own {
+		if _, ok := s.live[st.ID]; ok {
+			return fmt.Errorf("core: duplicate object %d in bulk load", st.ID)
+		}
+		s.live[st.ID] = st
+		s.hist.Insert(st)
+		if s.surf != nil {
+			s.surf.Insert(st)
+		}
+	}
+	all := make([]motion.State, 0, len(own)+len(replicas))
+	all = append(append(all, own...), replicas...)
+	return bl.BulkLoad(all)
+}
+
+// PrimeHistogram initializes the histogram window at base without advancing
+// the server clock. The sharded engine primes every shard with the same base
+// before the first data arrives, so per-shard histogram windows stay in
+// lockstep (dh.FilterMerged requires equal phases) even when the shards
+// first see objects with different reference times.
+func (s *Server) PrimeHistogram(base motion.Tick) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	s.hist.Advance(base)
+}
+
+// Contours extracts iso-density contour segments from the Chebyshev
+// surfaces (errors when Config.DisablePA).
+func (s *Server) Contours(at motion.Tick, level float64, res int) ([]pa.ContourSegment, error) {
+	if s.surf == nil {
+		return nil, fmt.Errorf("core: PA surfaces are disabled on this server (Config.DisablePA)")
+	}
+	return s.surf.Contours(at, level, res)
+}
+
+// PoolStats returns the buffer pool's I/O counters.
+func (s *Server) PoolStats() storage.Stats { return s.pool.Stats() }
+
+// PoolPages returns the number of pages the buffer pool manages.
+func (s *Server) PoolPages() int { return s.pool.NumPages() }
+
+// HistogramBytes returns the density histogram's counter footprint.
+func (s *Server) HistogramBytes() int { return s.hist.MemoryBytes() }
+
+// SurfaceBytes returns the Chebyshev coefficient footprint (0 when PA is
+// disabled).
+func (s *Server) SurfaceBytes() int {
+	if s.surf == nil {
+		return 0
+	}
+	return s.surf.MemoryBytes()
+}
+
+// AttachTelemetry registers the server's substrate instruments (buffer pool,
+// result cache) on reg. Call before serving traffic, like SetMetrics.
+func (s *Server) AttachTelemetry(reg *telemetry.Registry) {
+	s.pool.SetMetrics(storage.NewPoolMetrics(reg))
+	if s.qcache != nil {
+		s.qcache.SetMetrics(cache.NewMetrics(reg))
+	}
+}

@@ -121,19 +121,62 @@ func (r *FilterResult) CountMarks() (accepted, rejected, candidates int) {
 //
 // pdr:hot — filter-step root for the hotpath analyzer family (docs/LINT.md).
 func (h *Histogram) Filter(qt motion.Tick, rho, l float64) (*FilterResult, error) {
+	if err := h.validateFilter(qt, rho, l); err != nil {
+		return nil, err
+	}
+	return h.filterCounts(h.slot(qt), rho, l), nil
+}
+
+// FilterMerged runs the filter step over the element-wise sum of several
+// histograms maintained over disjoint object populations (the sharded
+// engine's per-shard histograms). Counters are integers, so the summed grid
+// equals the grid a single histogram over the union population would hold,
+// and the resulting marks — and every region derived from them — are
+// bit-identical to the unsharded filter. All histograms must share the same
+// configuration and window phase (the engine advances them in lockstep).
+func FilterMerged(hs []*Histogram, qt motion.Tick, rho, l float64) (*FilterResult, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("dh: no histograms to merge")
+	}
+	h := hs[0]
+	for _, o := range hs[1:] {
+		if o.cfg != h.cfg || o.base != h.base {
+			return nil, fmt.Errorf("dh: merged histograms differ in configuration or window phase")
+		}
+	}
+	if err := h.validateFilter(qt, rho, l); err != nil {
+		return nil, err
+	}
+	if len(hs) == 1 {
+		return h.filterCounts(h.slot(qt), rho, l), nil
+	}
+	merged := make([]int32, h.cfg.M*h.cfg.M)
+	for _, o := range hs {
+		for i, c := range o.slot(qt) {
+			merged[i] += c
+		}
+	}
+	return h.filterCounts(merged, rho, l), nil
+}
+
+func (h *Histogram) validateFilter(qt motion.Tick, rho, l float64) error {
 	if l <= 0 || rho < 0 {
-		return nil, fmt.Errorf("dh: bad query parameters rho=%g l=%g", rho, l)
+		return fmt.Errorf("dh: bad query parameters rho=%g l=%g", rho, l)
 	}
 	lc := math.Max(h.lcX, h.lcY)
 	if lc > l/2+1e-9 {
-		return nil, fmt.Errorf("dh: cell edge %g exceeds l/2 = %g; use a finer grid", lc, l/2)
+		return fmt.Errorf("dh: cell edge %g exceeds l/2 = %g; use a finer grid", lc, l/2)
 	}
 	if qt < h.base || qt > h.base+h.cfg.Horizon {
-		return nil, fmt.Errorf("dh: timestamp %d outside window [%d, %d]", qt, h.base, h.base+h.cfg.Horizon)
+		return fmt.Errorf("dh: timestamp %d outside window [%d, %d]", qt, h.base, h.base+h.cfg.Horizon)
 	}
+	return nil
+}
 
+// filterCounts classifies every cell of one timestamp grid; counts is the
+// grid to filter (a resident slot, or a merged copy).
+func (h *Histogram) filterCounts(counts []int32, rho, l float64) *FilterResult {
 	m := h.cfg.M
-	counts := h.slot(qt)
 	// 2-D prefix sums: pre[(i+1)*(m+1)+(j+1)] = sum of counts[0..i][0..j].
 	pre := make([]int64, (m+1)*(m+1))
 	for i := 0; i < m; i++ {
@@ -191,5 +234,5 @@ func (h *Histogram) Filter(qt motion.Tick, rho, l float64) (*FilterResult, error
 			}
 		}
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,75 @@
+package dh
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// TestFilterMergedMatchesSingle partitions one population across several
+// histograms and checks the merged filter classifies every cell exactly as a
+// single histogram over the whole population does — the additivity property
+// the sharded engine's bit-identical merge rests on.
+func TestFilterMergedMatchesSingle(t *testing.T) {
+	cfg := Config{Area: geom.NewRect(0, 0, 1000, 1000), M: 50, Horizon: 90}
+	rng := rand.New(rand.NewSource(7))
+	for _, parts := range []int{1, 2, 3, 8} {
+		whole, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := make([]*Histogram, parts)
+		for i := range hs {
+			if hs[i], err = New(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		whole.Advance(0)
+		for _, h := range hs {
+			h.Advance(0)
+		}
+		for id := 0; id < 400; id++ {
+			st := motion.State{
+				ID:  motion.ObjectID(id),
+				Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+				Vel: geom.Vec{X: rng.Float64()*6 - 3, Y: rng.Float64()*6 - 3},
+				Ref: 0,
+			}
+			whole.Insert(st)
+			hs[id%parts].Insert(st)
+		}
+		for _, qt := range []motion.Tick{0, 30, 90} {
+			want, err := whole.Filter(qt, 0.002, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FilterMerged(hs, qt, 0.002, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < cfg.M; i++ {
+				for j := 0; j < cfg.M; j++ {
+					if got.Mark(i, j) != want.Mark(i, j) {
+						t.Fatalf("parts=%d qt=%d cell (%d,%d): merged %v, single %v",
+							parts, qt, i, j, got.Mark(i, j), want.Mark(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterMergedRejectsPhaseSkew ensures out-of-lockstep histograms are
+// refused rather than silently merged into wrong counts.
+func TestFilterMergedRejectsPhaseSkew(t *testing.T) {
+	cfg := Config{Area: geom.NewRect(0, 0, 100, 100), M: 10, Horizon: 10}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	a.Advance(0)
+	b.Advance(5)
+	if _, err := FilterMerged([]*Histogram{a, b}, 5, 1, 30); err == nil {
+		t.Fatal("expected an error for histograms with different bases")
+	}
+}

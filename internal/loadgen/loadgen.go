@@ -1,12 +1,14 @@
 // Package loadgen is the engine's HTTP load harness: persistent-connection
-// workers drive a configurable mix of snapshot / interval / stats requests
-// against a running pdrserve and report throughput plus a log-scale latency
-// distribution (p50/p90/p95/p99/max). cmd/pdrload is the CLI wrapper; the
-// library form lets scripts/check.sh smoke-test the harness against an
-// in-process httptest server.
+// workers drive a configurable mix of snapshot / interval / stats reads and
+// tick / apply writes against a running pdrserve and report throughput plus
+// a log-scale latency distribution (p50/p90/p95/p99/max), overall and per
+// class. cmd/pdrload is the CLI wrapper; the library form lets
+// scripts/check.sh smoke-test the harness against an in-process httptest
+// server.
 package loadgen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,18 +23,26 @@ import (
 	"time"
 
 	"pdr/internal/stopwatch"
+	"pdr/internal/wire"
 )
 
 // Mix weights the request classes; a class with weight 0 is never sent.
+// Snapshot, Interval, and Stats are reads. Tick advances the server clock
+// through POST /v1/updates (the global write path: every shard's window
+// rotates); Apply inserts and deletes a fresh object through POST /v1/apply
+// (the shard-local write path). Weighting reads against Apply is how the
+// harness measures write-vs-read contention on a sharded server.
 type Mix struct {
 	Snapshot int `json:"snapshot"`
 	Interval int `json:"interval"`
 	Stats    int `json:"stats"`
+	Tick     int `json:"tick,omitempty"`
+	Apply    int `json:"apply,omitempty"`
 }
 
-func (m Mix) total() int { return m.Snapshot + m.Interval + m.Stats }
+func (m Mix) total() int { return m.Snapshot + m.Interval + m.Stats + m.Tick + m.Apply }
 
-// ParseMix parses the CLI form "snapshot=8,interval=1,stats=1".
+// ParseMix parses the CLI form "snapshot=8,interval=1,stats=1,apply=4".
 func ParseMix(s string) (Mix, error) {
 	m := Mix{}
 	for _, part := range splitComma(s) {
@@ -58,8 +68,12 @@ func ParseMix(s string) (Mix, error) {
 			m.Interval = w
 		case "stats":
 			m.Stats = w
+		case "tick":
+			m.Tick = w
+		case "apply":
+			m.Apply = w
 		default:
-			return Mix{}, fmt.Errorf("loadgen: unknown request class %q (want snapshot, interval, or stats)", name)
+			return Mix{}, fmt.Errorf("loadgen: unknown request class %q (want snapshot, interval, stats, tick, or apply)", name)
 		}
 	}
 	if m.total() <= 0 {
@@ -103,6 +117,11 @@ type Config struct {
 	L             float64 // neighborhood edge
 	Varrho        float64 // relative density threshold
 	IntervalTicks int     // interval query length (until = now+K)
+	// Area bounds for the apply class: fresh objects are inserted uniformly
+	// in [0, AreaMaxX) x [0, AreaMaxY). Must match the server's -area (the
+	// defaults match core.DefaultConfig's 1000 x 1000 plane).
+	AreaMaxX float64
+	AreaMaxY float64
 	// Seed makes the request sequence reproducible; worker w derives its
 	// private stream from Seed+w.
 	Seed    int64
@@ -132,6 +151,12 @@ func (c *Config) withDefaults() Config {
 	if out.IntervalTicks <= 0 {
 		out.IntervalTicks = 5
 	}
+	if out.AreaMaxX <= 0 {
+		out.AreaMaxX = 1000
+	}
+	if out.AreaMaxY <= 0 {
+		out.AreaMaxY = 1000
+	}
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
@@ -143,11 +168,12 @@ func (c *Config) withDefaults() Config {
 
 // ClassStats is the per-request-class slice of the report.
 type ClassStats struct {
-	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
-	P50Nanos int64 `json:"p50Nanos"`
-	P99Nanos int64 `json:"p99Nanos"`
-	MaxNanos int64 `json:"maxNanos"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughputRps"`
+	P50Nanos      int64   `json:"p50Nanos"`
+	P99Nanos      int64   `json:"p99Nanos"`
+	MaxNanos      int64   `json:"maxNanos"`
 }
 
 // Report is the outcome of a run; WriteJSON serializes it in the
@@ -189,7 +215,32 @@ func (r *Report) WriteJSON(path string) error {
 }
 
 // classNames indexes the request classes; pick() returns an index into it.
-var classNames = [...]string{"snapshot", "interval", "stats"}
+var classNames = [...]string{"snapshot", "interval", "stats", "tick", "apply"}
+
+const (
+	classSnapshot = iota
+	classInterval
+	classStats
+	classTick
+	classApply
+)
+
+// writeState is the cross-worker state behind the write classes. The tick
+// class advances one logical clock shared by every worker; issuance is
+// serialized under mu so a later tick value can never overtake an earlier
+// one on the wire (the server would reject it as time moving backwards).
+// The apply class draws process-unique object IDs from nextID, offset far
+// above any pdrgen workload, so concurrent inserts never collide with each
+// other or with the pre-loaded population.
+type writeState struct {
+	mu     sync.Mutex
+	tick   atomic.Int64
+	nextID atomic.Uint64
+}
+
+// applyIDBase offsets harness-inserted object IDs above any realistic
+// pre-loaded workload.
+const applyIDBase = uint64(1) << 40
 
 // worker is the per-goroutine state: private RNG, private histograms.
 type worker struct {
@@ -205,22 +256,31 @@ type worker struct {
 func (w *worker) pick(m Mix) int {
 	r := w.rng.Intn(m.total())
 	if r < m.Snapshot {
-		return 0
+		return classSnapshot
 	}
-	if r < m.Snapshot+m.Interval {
-		return 1
+	r -= m.Snapshot
+	if r < m.Interval {
+		return classInterval
 	}
-	return 2
+	r -= m.Interval
+	if r < m.Stats {
+		return classStats
+	}
+	r -= m.Stats
+	if r < m.Tick {
+		return classTick
+	}
+	return classApply
 }
 
-// buildURL renders the request for one class.
+// buildURL renders the request for one read class.
 func buildURL(cfg *Config, class int) string {
 	switch class {
-	case 0:
+	case classSnapshot:
 		return cfg.BaseURL + "/v1/query?method=" + url.QueryEscape(cfg.Method) +
 			"&varrho=" + strconv.FormatFloat(cfg.Varrho, 'g', -1, 64) +
 			"&l=" + strconv.FormatFloat(cfg.L, 'g', -1, 64)
-	case 1:
+	case classInterval:
 		return cfg.BaseURL + "/v1/query?method=" + url.QueryEscape(cfg.Method) +
 			"&varrho=" + strconv.FormatFloat(cfg.Varrho, 'g', -1, 64) +
 			"&l=" + strconv.FormatFloat(cfg.L, 'g', -1, 64) +
@@ -228,6 +288,38 @@ func buildURL(cfg *Config, class int) string {
 	default:
 		return cfg.BaseURL + "/v1/stats"
 	}
+}
+
+// tickBody renders the POST /v1/updates body for one clock advance.
+func tickBody(now int64) []byte {
+	body, _ := json.Marshal(struct {
+		Now     int64         `json:"now"`
+		Updates []wire.Record `json:"updates"`
+	}{Now: now, Updates: []wire.Record{}})
+	return body
+}
+
+// applyBody renders the POST /v1/apply body: one fresh object inserted and
+// immediately deleted, so the run leaves the population unchanged while
+// exercising the write path twice per request.
+func (w *worker) applyBody(cfg *Config, ws *writeState) []byte {
+	now := ws.tick.Load()
+	ins := wire.Record{
+		Kind: wire.KindInsert,
+		Tick: now,
+		ID:   applyIDBase + ws.nextID.Add(1),
+		X:    w.rng.Float64() * cfg.AreaMaxX,
+		Y:    w.rng.Float64() * cfg.AreaMaxY,
+		VX:   (w.rng.Float64() - 0.5) * 16,
+		VY:   (w.rng.Float64() - 0.5) * 16,
+		Ref:  now,
+	}
+	del := ins
+	del.Kind = wire.KindDelete
+	body, _ := json.Marshal(struct {
+		Updates []wire.Record `json:"updates"`
+	}{Updates: []wire.Record{ins, del}})
+	return body
 }
 
 // Run drives the configured load and returns the merged report. The
@@ -247,10 +339,15 @@ func Run(cfg Config) (*Report, error) {
 	client := &http.Client{Transport: transport, Timeout: cfg.Timeout}
 	defer transport.CloseIdleConnections()
 
-	// Probe once so a wrong URL fails fast instead of as N*iters errors.
-	if err := probe(client, cfg.BaseURL); err != nil {
+	// Probe once so a wrong URL fails fast instead of as N*iters errors; the
+	// probe also reads the server clock so the tick class resumes it instead
+	// of rewinding (which the server would reject).
+	now, err := probe(client, cfg.BaseURL)
+	if err != nil {
 		return nil, err
 	}
+	ws := &writeState{}
+	ws.tick.Store(now)
 
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
@@ -267,20 +364,23 @@ func Run(cfg Config) (*Report, error) {
 	// Warmup: same traffic, discarded measurements. Fills connection
 	// pools, page caches, and the engine's result cache to steady state.
 	if cfg.Warmup > 0 {
-		runPhase(client, &cfg, workers, cfg.Warmup, 0)
+		runPhase(client, &cfg, workers, ws, cfg.Warmup, 0)
 		for _, w := range workers {
 			w.reset()
 		}
 	}
 
 	sw := stopwatch.Start()
-	runPhase(client, &cfg, workers, cfg.Duration, cfg.Requests)
+	runPhase(client, &cfg, workers, ws, cfg.Duration, cfg.Requests)
 	elapsed := sw.Elapsed()
 
 	// Merge the per-worker shards.
 	total := NewHistogram()
 	perClass := make(map[string]ClassStats, len(classNames))
-	byClass := [len(classNames)]*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	var byClass [len(classNames)]*Histogram
+	for c := range byClass {
+		byClass[c] = NewHistogram()
+	}
 	rep := &Report{
 		Kind: "load", URL: cfg.BaseURL,
 		NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0),
@@ -317,12 +417,16 @@ func Run(cfg Config) (*Report, error) {
 		if reqs == 0 {
 			continue
 		}
-		perClass[name] = ClassStats{
+		cs := ClassStats{
 			Requests: reqs, Errors: errs,
 			P50Nanos: byClass[c].Quantile(0.50).Nanoseconds(),
 			P99Nanos: byClass[c].Quantile(0.99).Nanoseconds(),
 			MaxNanos: byClass[c].Max().Nanoseconds(),
 		}
+		if elapsed > 0 {
+			cs.ThroughputRPS = float64(reqs+errs) / elapsed.Seconds()
+		}
+		perClass[name] = cs
 	}
 	rep.PerClass = perClass
 	return rep, nil
@@ -337,26 +441,34 @@ func (w *worker) reset() {
 	w.errs = [len(classNames)]int64{}
 }
 
-// probe issues one stats request to validate the target.
-func probe(client *http.Client, baseURL string) error {
+// probe issues one stats request to validate the target and returns the
+// server's current tick.
+func probe(client *http.Client, baseURL string) (int64, error) {
 	resp, err := client.Get(baseURL + "/v1/stats")
 	if err != nil {
-		return fmt.Errorf("loadgen: probe failed: %w", err)
+		return 0, fmt.Errorf("loadgen: probe failed: %w", err)
 	}
 	defer resp.Body.Close()
-	// Drain-to-reuse: a failed drain only costs this probe its keep-alive
-	// slot.
-	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: probe %s/v1/stats returned %d", baseURL, resp.StatusCode)
+		// Drain-to-reuse: a failed drain only costs this probe its
+		// keep-alive slot.
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("loadgen: probe %s/v1/stats returned %d", baseURL, resp.StatusCode)
 	}
-	return nil
+	var st struct {
+		Now int64 `json:"now"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("loadgen: probe %s/v1/stats: %w", baseURL, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return st.Now, nil
 }
 
 // runPhase fans the workers out for one timed phase. maxReqs > 0 bounds
 // the total request count across workers (used by -n mode); the deadline
 // applies regardless.
-func runPhase(client *http.Client, cfg *Config, workers []*worker, d time.Duration, maxReqs int64) {
+func runPhase(client *http.Client, cfg *Config, workers []*worker, ws *writeState, d time.Duration, maxReqs int64) {
 	deadline := time.Now().Add(d)
 	var issued atomic.Int64
 	var wg sync.WaitGroup
@@ -369,7 +481,7 @@ func runPhase(client *http.Client, cfg *Config, workers []*worker, d time.Durati
 					return
 				}
 				class := w.pick(cfg.Mix)
-				w.do(client, cfg, class)
+				w.do(client, cfg, ws, class)
 			}
 		}(w)
 	}
@@ -378,10 +490,31 @@ func runPhase(client *http.Client, cfg *Config, workers []*worker, d time.Durati
 
 // do issues one request and records its latency (errors are counted, not
 // timed). The body is fully drained so the connection returns to the
-// keep-alive pool.
-func (w *worker) do(client *http.Client, cfg *Config, class int) {
-	sw := stopwatch.Start()
-	resp, err := client.Get(buildURL(cfg, class))
+// keep-alive pool. Tick requests hold the write-state mutex across the
+// round trip: clock advance is inherently ordered, and the serialization
+// the server's write lock would impose anyway happens client-side instead
+// of surfacing as time-moved-backwards conflicts.
+func (w *worker) do(client *http.Client, cfg *Config, ws *writeState, class int) {
+	var (
+		resp *http.Response
+		err  error
+		sw   stopwatch.Stopwatch
+	)
+	switch class {
+	case classTick:
+		ws.mu.Lock()
+		body := tickBody(ws.tick.Add(1))
+		sw = stopwatch.Start()
+		resp, err = client.Post(cfg.BaseURL+"/v1/updates", "application/json", bytes.NewReader(body))
+		ws.mu.Unlock()
+	case classApply:
+		body := w.applyBody(cfg, ws)
+		sw = stopwatch.Start()
+		resp, err = client.Post(cfg.BaseURL+"/v1/apply", "application/json", bytes.NewReader(body))
+	default:
+		sw = stopwatch.Start()
+		resp, err = client.Get(buildURL(cfg, class))
+	}
 	if err != nil {
 		w.errs[class]++
 		return

@@ -24,6 +24,13 @@ func TestParseMix(t *testing.T) {
 	if m != (Mix{Snapshot: 8, Interval: 1, Stats: 1}) {
 		t.Fatalf("mix = %+v", m)
 	}
+	m, err = ParseMix("snapshot=4,tick=1,apply=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Snapshot: 4, Tick: 1, Apply: 2}) {
+		t.Fatalf("write mix = %+v", m)
+	}
 	if _, err := ParseMix("snapshot=0"); err == nil {
 		t.Fatal("all-zero mix should be rejected")
 	}
@@ -150,7 +157,7 @@ func TestLoadHarnessSmoke(t *testing.T) {
 		Workers:  2,
 		Duration: 150 * time.Millisecond,
 		Warmup:   30 * time.Millisecond,
-		Mix:      Mix{Snapshot: 6, Interval: 1, Stats: 1},
+		Mix:      Mix{Snapshot: 6, Interval: 1, Stats: 1, Tick: 1, Apply: 2},
 		Varrho:   3,
 		L:        60,
 		Seed:     11,
@@ -191,6 +198,12 @@ func TestLoadHarnessSmoke(t *testing.T) {
 	}
 	if back.PerClass["snapshot"].Requests == 0 {
 		t.Fatal("snapshot class saw no traffic")
+	}
+	if back.PerClass["apply"].Requests == 0 {
+		t.Fatal("apply class saw no traffic")
+	}
+	if cs := back.PerClass["apply"]; cs.ThroughputRPS <= 0 {
+		t.Fatalf("apply class throughput = %v", cs.ThroughputRPS)
 	}
 }
 

@@ -4,6 +4,8 @@
 //	POST   /v1/load       bulk-load initial object states
 //	POST   /v1/updates    advance the clock and apply location updates
 //	                      (returns standing-query change events)
+//	POST   /v1/apply      apply insert/delete updates between ticks
+//	                      (the clock does not move)
 //	GET    /v1/query      answer a snapshot or interval PDR query
 //	POST   /v1/watch      register a standing (continuous) PDR query
 //	DELETE /v1/watch/{id} remove a standing query
@@ -35,6 +37,7 @@ import (
 	"pdr/internal/core"
 	"pdr/internal/monitor"
 	"pdr/internal/motion"
+	"pdr/internal/pa"
 	"pdr/internal/storage"
 	"pdr/internal/telemetry"
 	"pdr/internal/tracestore"
@@ -46,13 +49,40 @@ import (
 // quarter of the ring.
 const DefaultTraceBuffer = 256
 
-// Service wraps a core.Server with an HTTP API.
+// Engine is the query/mutation surface the service publishes over HTTP.
+// Both core.Server (the single-lock engine) and shard.Engine (the
+// space-partitioned scatter-gather engine, see docs/PERFORMANCE.md
+// "Sharding") satisfy it; pick with pdrserve's -shards flag.
+type Engine interface {
+	Load(states []motion.State) error
+	Tick(now motion.Tick, updates []motion.Update) error
+	Apply(u motion.Update) error
+	Now() motion.Tick
+	Horizon() motion.Tick
+	NumObjects() int
+	Config() core.Config
+	Epoch() uint64
+	SnapshotTraced(q core.Query, m core.Method, sp *telemetry.Span) (*core.Result, error)
+	IntervalTraced(q core.Query, until motion.Tick, m core.Method, sp *telemetry.Span) (*core.Result, error)
+	PastSnapshotTraced(q core.Query, sp *telemetry.Span) (*core.Result, error)
+	Contours(at motion.Tick, level float64, res int) ([]pa.ContourSegment, error)
+	PoolStats() storage.Stats
+	PoolPages() int
+	HistogramBytes() int
+	SurfaceBytes() int
+	Cache() *cache.Cache
+	CacheStats() cache.Stats
+	SetMetrics(m *core.Metrics)
+	AttachTelemetry(reg *telemetry.Registry)
+}
+
+// Service wraps a PDR engine with an HTTP API.
 type Service struct {
 	mu sync.RWMutex
 	// srv is the single-writer/many-reader engine; guarded by mu (enforced
 	// by pdrvet's locked analyzer): queries hold the read lock, ticks and
 	// loads the write lock.
-	srv *core.Server
+	srv Engine
 	// mon re-evaluates standing queries; guarded by mu (registration and
 	// advancement mutate it, so those handlers take the write lock).
 	mon *monitor.Monitor
@@ -116,12 +146,20 @@ func WithTracing(sample float64, buffer int) Option {
 	}
 }
 
-// New creates a service over a fresh engine.
+// New creates a service over a fresh single-lock engine.
 func New(cfg core.Config, opts ...Option) (*Service, error) {
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return NewWithEngine(srv, opts...)
+}
+
+// NewWithEngine creates a service over an existing engine — the entry point
+// for the sharded engine (internal/shard) or a pre-built core.Server. The
+// service attaches its metrics bundle and substrate telemetry to the engine,
+// so call it before the engine serves traffic.
+func NewWithEngine(srv Engine, opts ...Option) (*Service, error) {
 	s := &Service{
 		srv: srv, mon: monitor.New(srv), mux: http.NewServeMux(),
 		start: time.Now(), traceSample: 1, traceBuffer: DefaultTraceBuffer,
@@ -134,10 +172,7 @@ func New(cfg core.Config, opts ...Option) (*Service, error) {
 	}
 	s.met = core.NewMetrics(s.reg)
 	srv.SetMetrics(s.met)
-	srv.Pool().SetMetrics(storage.NewPoolMetrics(s.reg))
-	if qc := srv.Cache(); qc != nil {
-		qc.SetMetrics(cache.NewMetrics(s.reg))
-	}
+	srv.AttachTelemetry(s.reg)
 	s.mon.SetMetrics(monitor.NewMetrics(s.reg))
 	if s.slow != nil {
 		s.slow.count = s.reg.Counter("pdr_http_slow_queries_total",
@@ -164,6 +199,7 @@ func New(cfg core.Config, opts ...Option) (*Service, error) {
 	s.registerWatchRoutes()
 	s.handle("POST /v1/load", s.handleLoad)
 	s.handle("POST /v1/updates", s.handleUpdates)
+	s.handle("POST /v1/apply", s.handleApply)
 	s.handle("GET /v1/query", s.handleQuery)
 	s.handle("GET /v1/contours", s.handleContours)
 	s.handle("GET /v1/stats", s.handleStats)
@@ -193,12 +229,12 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Engine returns the wrapped PDR server for offline pre-loading; once the
+// Engine returns the wrapped PDR engine for offline pre-loading; once the
 // service is receiving HTTP traffic, all access must go through the API.
 //
 // lint:ignore locked offline escape hatch: documented as pre-traffic only,
 // so no handler can race it.
-func (s *Service) Engine() *core.Server { return s.srv }
+func (s *Service) Engine() Engine { return s.srv }
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -301,6 +337,51 @@ func (s *Service) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		Applied: len(ups), Now: s.srv.Now(), Objects: s.srv.NumObjects(),
 		Events: eventsJSON(events),
 	})
+}
+
+// ApplyRequest is the body of POST /v1/apply: between-tick movement updates
+// applied at the current clock. Unlike /v1/updates, the clock does not move
+// and standing queries are not re-evaluated.
+type ApplyRequest struct {
+	Updates []wire.Record `json:"updates"`
+}
+
+// ApplyResponse reports the apply outcome.
+type ApplyResponse struct {
+	Applied int         `json:"applied"`
+	Now     motion.Tick `json:"now"`
+	Objects int         `json:"objects"`
+}
+
+func (s *Service) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req ApplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ups := make([]motion.Update, len(req.Updates))
+	for i, rec := range req.Updates {
+		u, err := rec.Update()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+		ups[i] = u
+	}
+	// Applies bypass the monitor (the clock does not move, so no standing
+	// query comes due) and take only the read side of the service lock: the
+	// engine serializes its own writes, and on a sharded engine applies to
+	// different shards proceed in parallel — the contention regime
+	// cmd/pdrload's apply traffic class measures.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, u := range ups {
+		if err := s.srv.Apply(u); err != nil {
+			httpError(w, http.StatusConflict, "apply %d: %v", i, err)
+			return
+		}
+	}
+	writeJSON(w, ApplyResponse{Applied: len(ups), Now: s.srv.Now(), Objects: s.srv.NumObjects()})
 }
 
 // RectJSON is one dense rectangle of a query answer.
@@ -455,7 +536,7 @@ func (s *Service) handleContours(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	segs, err := s.srv.Surface().Contours(at, level, res)
+	segs, err := s.srv.Contours(at, level, res)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -506,7 +587,7 @@ type StatsResponse struct {
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := s.srv.Pool().Stats()
+	st := s.srv.PoolStats()
 	cst := s.srv.CacheStats()
 	var traceSampled, traceDropped int64
 	if s.tracer != nil {
@@ -516,9 +597,9 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, StatsResponse{
 		Now:                s.srv.Now(),
 		Objects:            s.srv.NumObjects(),
-		HistogramBytes:     s.srv.Histogram().MemoryBytes(),
-		SurfaceBytes:       s.srv.Surface().MemoryBytes(),
-		IndexPages:         s.srv.Pool().NumPages(),
+		HistogramBytes:     s.srv.HistogramBytes(),
+		SurfaceBytes:       s.srv.SurfaceBytes(),
+		IndexPages:         s.srv.PoolPages(),
 		PoolReads:          st.Reads,
 		PoolWrites:         st.Writes,
 		PoolHits:           st.Hits,

@@ -1,0 +1,417 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pdr/internal/core"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// engineAPI is the surface shared by core.Server and Engine that the
+// equivalence harness replays streams and queries through.
+type engineAPI interface {
+	Load([]motion.State) error
+	Tick(motion.Tick, []motion.Update) error
+	Apply(motion.Update) error
+	Snapshot(core.Query, core.Method) (*core.Result, error)
+	Interval(core.Query, motion.Tick, core.Method) (*core.Result, error)
+	PastSnapshot(core.Query) (*core.Result, error)
+	Now() motion.Tick
+	NumObjects() int
+}
+
+var (
+	_ engineAPI = (*core.Server)(nil)
+	_ engineAPI = (*Engine)(nil)
+)
+
+func testConfig(workers int) core.Config {
+	return core.Config{
+		Area:        geom.NewRect(0, 0, 1000, 1000),
+		U:           60,
+		W:           30,
+		HistM:       20, // cell edge 50; FR accepts l >= 100
+		PAGrid:      4,
+		PADegree:    3,
+		PAMD:        64,
+		L:           100,
+		IOCharge:    time.Millisecond,
+		KeepHistory: true,
+		Workers:     workers,
+	}
+}
+
+// stream is a recorded update workload replayable onto any engine.
+type stream struct {
+	load  []motion.State
+	ticks []tickBatch
+}
+
+type tickBatch struct {
+	now     motion.Tick
+	updates []motion.Update
+	// applies land through Apply after the tick (the between-ticks path).
+	applies []motion.Update
+}
+
+// makeStream builds a deterministic workload of 300 loaded objects plus ten
+// ticks of movement updates, fresh inserts, permanent deletes, and
+// between-tick Apply traffic. Velocities up to 8 units/tick over a 90-tick
+// horizon give trajectories spanning most of the plane, so many objects
+// straddle shard boundaries; a few are handcrafted to sit exactly on the
+// center partition lines.
+func makeStream() *stream {
+	rng := rand.New(rand.NewSource(42))
+	s := &stream{}
+	live := make(map[motion.ObjectID]motion.State)
+	next := motion.ObjectID(1)
+	randState := func(ref motion.Tick) motion.State {
+		st := motion.State{
+			ID:  next,
+			Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Vel: geom.Vec{X: (rng.Float64() - 0.5) * 16, Y: (rng.Float64() - 0.5) * 16},
+			Ref: ref,
+		}
+		next++
+		return st
+	}
+	for i := 0; i < 300; i++ {
+		st := randState(0)
+		s.load = append(s.load, st)
+		live[st.ID] = st
+	}
+	// Boundary straddlers: on the center lines, crossing them, and parked
+	// exactly at the area corner.
+	for _, st := range []motion.State{
+		{ID: next, Pos: geom.Point{X: 500, Y: 500}, Vel: geom.Vec{X: 3, Y: -3}, Ref: 0},
+		{ID: next + 1, Pos: geom.Point{X: 499.999, Y: 250}, Vel: geom.Vec{X: 0.001, Y: 0}, Ref: 0},
+		{ID: next + 2, Pos: geom.Point{X: 250, Y: 500}, Vel: geom.Vec{X: 0, Y: 0}, Ref: 0},
+		{ID: next + 3, Pos: geom.Point{X: 1000, Y: 1000}, Vel: geom.Vec{X: -5, Y: -5}, Ref: 0},
+		{ID: next + 4, Pos: geom.Point{X: 0, Y: 999.5}, Vel: geom.Vec{X: 8, Y: 0}, Ref: 0},
+	} {
+		s.load = append(s.load, st)
+		live[st.ID] = st
+		next = st.ID + 1
+	}
+	liveIDs := func() []motion.ObjectID {
+		ids := make([]motion.ObjectID, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		// map order is random; sort for determinism
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+		return ids
+	}
+	for t := motion.Tick(1); t <= 10; t++ {
+		b := tickBatch{now: t}
+		ids := liveIDs()
+		// 15 movement updates: delete the stale movement, insert the new.
+		for i := 0; i < 15; i++ {
+			id := ids[rng.Intn(len(ids))]
+			cur, ok := live[id]
+			if !ok {
+				continue
+			}
+			b.updates = append(b.updates, motion.NewDelete(cur, t))
+			st := randState(t)
+			st.ID = id
+			b.updates = append(b.updates, motion.NewInsert(st))
+			live[id] = st
+		}
+		// 5 fresh inserts, 3 permanent deletes.
+		for i := 0; i < 5; i++ {
+			st := randState(t)
+			b.updates = append(b.updates, motion.NewInsert(st))
+			live[st.ID] = st
+		}
+		ids = liveIDs()
+		for i := 0; i < 3; i++ {
+			id := ids[rng.Intn(len(ids))]
+			cur, ok := live[id]
+			if !ok {
+				continue
+			}
+			b.updates = append(b.updates, motion.NewDelete(cur, t))
+			delete(live, id)
+		}
+		// Between-tick Apply traffic: 4 single-record updates.
+		for i := 0; i < 2; i++ {
+			st := randState(t)
+			b.applies = append(b.applies, motion.NewInsert(st))
+			live[st.ID] = st
+		}
+		ids = liveIDs()
+		for i := 0; i < 2; i++ {
+			id := ids[rng.Intn(len(ids))]
+			cur, ok := live[id]
+			if !ok {
+				continue
+			}
+			b.applies = append(b.applies, motion.NewDelete(cur, t))
+			delete(live, id)
+		}
+		s.ticks = append(s.ticks, b)
+	}
+	return s
+}
+
+func (s *stream) replay(t *testing.T, e engineAPI) {
+	t.Helper()
+	if err := e.Load(s.load); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, b := range s.ticks {
+		if err := e.Tick(b.now, b.updates); err != nil {
+			t.Fatalf("Tick(%d): %v", b.now, err)
+		}
+		for _, u := range b.applies {
+			if err := e.Apply(u); err != nil {
+				t.Fatalf("Apply(%v %d): %v", u.Kind, u.State.ID, err)
+			}
+		}
+	}
+}
+
+// sameAnswer asserts the sharded result is bit-identical to the reference in
+// every stream-determined field (timings and I/O charges are measurements
+// and legitimately differ).
+func sameAnswer(t *testing.T, label string, ref, got *core.Result) {
+	t.Helper()
+	if got.Method != ref.Method {
+		t.Fatalf("%s: method %v != %v", label, got.Method, ref.Method)
+	}
+	if !reflect.DeepEqual(got.Region, ref.Region) {
+		t.Fatalf("%s: region mismatch:\n ref %d rects %v\n got %d rects %v",
+			label, len(ref.Region), ref.Region, len(got.Region), got.Region)
+	}
+	if got.Accepted != ref.Accepted || got.Rejected != ref.Rejected || got.Candidates != ref.Candidates {
+		t.Fatalf("%s: filter marks (a,r,c) = (%d,%d,%d) != (%d,%d,%d)", label,
+			got.Accepted, got.Rejected, got.Candidates, ref.Accepted, ref.Rejected, ref.Candidates)
+	}
+	if got.ObjectsRetrieved != ref.ObjectsRetrieved {
+		t.Fatalf("%s: retrieved %d != %d", label, got.ObjectsRetrieved, ref.ObjectsRetrieved)
+	}
+}
+
+var allMethods = []core.Method{core.FR, core.PA, core.DHOptimistic, core.DHPessimistic, core.BruteForce}
+
+// TestEngineMatchesServer is the exactness contract: every method, snapshot
+// and interval and past, bit-identical to the unsharded server at shard
+// counts {1, 2, 3, 8} x worker counts {1, 2, 17}, over a stream with
+// boundary-straddling objects.
+func TestEngineMatchesServer(t *testing.T) {
+	st := makeStream()
+	ref, err := core.NewServer(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.replay(t, ref)
+	now := ref.Now()
+
+	queries := []core.Query{
+		{Rho: 0.0001, L: 100, At: now},
+		{Rho: 0.0003, L: 100, At: now + 7},
+		{Rho: 0.0001, L: 100, At: now + 90},
+	}
+	type refKey struct {
+		qi int
+		m  core.Method
+	}
+	refSnap := make(map[refKey]*core.Result)
+	refIval := make(map[core.Method]*core.Result)
+	for qi, q := range queries {
+		for _, m := range allMethods {
+			r, err := ref.Snapshot(q, m)
+			if err != nil {
+				t.Fatalf("ref snapshot %d %v: %v", qi, m, err)
+			}
+			refSnap[refKey{qi, m}] = r
+		}
+	}
+	for _, m := range allMethods {
+		r, err := ref.Interval(core.Query{Rho: 0.0001, L: 100, At: now}, now+5, m)
+		if err != nil {
+			t.Fatalf("ref interval %v: %v", m, err)
+		}
+		refIval[m] = r
+	}
+	refPast, err := ref.PastSnapshot(core.Query{Rho: 0.0001, L: 100, At: 4})
+	if err != nil {
+		t.Fatalf("ref past: %v", err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, workers := range []int{1, 2, 17} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				eng, err := New(testConfig(workers), shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.replay(t, eng)
+				if eng.Now() != now {
+					t.Fatalf("engine now %d != %d", eng.Now(), now)
+				}
+				if eng.NumObjects() != ref.NumObjects() {
+					t.Fatalf("engine objects %d != %d", eng.NumObjects(), ref.NumObjects())
+				}
+				for qi, q := range queries {
+					for _, m := range allMethods {
+						got, err := eng.Snapshot(q, m)
+						if err != nil {
+							t.Fatalf("snapshot %d %v: %v", qi, m, err)
+						}
+						sameAnswer(t, fmt.Sprintf("snapshot %d %v", qi, m), refSnap[refKey{qi, m}], got)
+					}
+				}
+				for _, m := range allMethods {
+					got, err := eng.Interval(core.Query{Rho: 0.0001, L: 100, At: now}, now+5, m)
+					if err != nil {
+						t.Fatalf("interval %v: %v", m, err)
+					}
+					sameAnswer(t, fmt.Sprintf("interval %v", m), refIval[m], got)
+				}
+				got, err := eng.PastSnapshot(core.Query{Rho: 0.0001, L: 100, At: 4})
+				if err != nil {
+					t.Fatalf("past: %v", err)
+				}
+				sameAnswer(t, "past", refPast, got)
+			})
+		}
+	}
+}
+
+// TestEngineCachedAnswers verifies the engine-level result cache returns the
+// same answer it computed and marks reuse, and that mutations invalidate it.
+func TestEngineCachedAnswers(t *testing.T) {
+	st := makeStream()
+	cfg := testConfig(2)
+	cfg.CacheBytes = 1 << 20
+	eng, err := New(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.replay(t, eng)
+	ref, err := core.NewServer(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.replay(t, ref)
+	q := core.Query{Rho: 0.0001, L: 100, At: eng.Now() + 3}
+	want, err := ref.Snapshot(q, core.FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.Snapshot(q, core.FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first answer claims to be cached")
+	}
+	sameAnswer(t, "first", want, first)
+	second, err := eng.Snapshot(q, core.FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical query was not served from the cache")
+	}
+	sameAnswer(t, "second", want, second)
+	if hits := eng.CacheStats().Hits; hits == 0 {
+		t.Fatal("cache recorded no hits")
+	}
+	// A mutation bumps the epoch and must invalidate the cached answer.
+	fresh := motion.State{ID: 999999, Pos: geom.Point{X: 700, Y: 700}, Ref: eng.Now()}
+	if err := eng.Apply(motion.NewInsert(fresh)); err != nil {
+		t.Fatal(err)
+	}
+	third, err := eng.Snapshot(q, core.FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("answer survived a mutation epoch bump")
+	}
+}
+
+// TestEngineStats sanity-checks the distribution snapshot: populations sum
+// to the total, and the straddler stream actually produced replicas.
+func TestEngineStats(t *testing.T) {
+	st := makeStream()
+	eng, err := New(testConfig(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.replay(t, eng)
+	s := eng.Stats()
+	if s.Shards != 8 {
+		t.Fatalf("shards %d", s.Shards)
+	}
+	sum := 0
+	for _, n := range s.ObjectsPerShard {
+		sum += n
+	}
+	if sum != s.Objects || sum != eng.NumObjects() {
+		t.Fatalf("per-shard populations sum to %d, want %d", sum, s.Objects)
+	}
+	if s.Straddlers == 0 {
+		t.Fatal("stream with fast movers produced no straddlers")
+	}
+	var reps int64
+	for _, n := range s.ReplicasPerShard {
+		reps += n
+	}
+	if reps == 0 {
+		t.Fatal("no replica registrations")
+	}
+}
+
+// TestEngineErrorPaths mirrors the server's update validation errors.
+func TestEngineErrorPaths(t *testing.T) {
+	eng, err := New(testConfig(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := motion.State{ID: 7, Pos: geom.Point{X: 100, Y: 100}, Vel: geom.Vec{X: 1}, Ref: 0}
+	if err := eng.Apply(motion.NewInsert(st)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Apply(motion.NewInsert(st)); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	stale := st
+	stale.Pos = geom.Point{X: 101, Y: 100}
+	if err := eng.Apply(motion.NewDelete(stale, 1)); err == nil {
+		t.Fatal("mismatched delete accepted")
+	}
+	if err := eng.Apply(motion.NewDelete(motion.State{ID: 8}, 1)); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+	if err := eng.Apply(motion.NewDelete(st, 1)); err != nil {
+		t.Fatalf("valid delete rejected: %v", err)
+	}
+	if err := eng.Tick(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Tick(4, nil); err == nil {
+		t.Fatal("time moved backwards")
+	}
+	if _, err := eng.Snapshot(core.Query{Rho: 0.0001, L: 100, At: 2}, core.FR); err == nil {
+		t.Fatal("query before now accepted")
+	}
+	if _, err := eng.Snapshot(core.Query{Rho: -1, L: 100, At: 5}, core.FR); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := eng.Snapshot(core.Query{Rho: 0.0001, L: 50, At: 5}, core.PA); err == nil {
+		t.Fatal("PA with mismatched l accepted")
+	}
+}

@@ -1,0 +1,452 @@
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"pdr/internal/cache"
+	"pdr/internal/core"
+	"pdr/internal/dh"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+	"pdr/internal/storage"
+	"pdr/internal/sweep"
+	"pdr/internal/telemetry"
+)
+
+// rlockAll read-locks every shard (ascending, matching the writer order) so
+// a query evaluates against one consistent cut of the stream: no mutation
+// can land between the scatter touching shard 0 and shard N-1.
+func (e *Engine) rlockAll() {
+	for i := range e.smu {
+		e.smu[i].RLock() // lint:ignore deferunlock acquire-only helper; every caller pairs it with runlockAll
+	}
+}
+
+func (e *Engine) runlockAll() {
+	for i := len(e.smu) - 1; i >= 0; i-- {
+		e.smu[i].RUnlock()
+	}
+}
+
+func (e *Engine) validateRLocked(q core.Query) error {
+	now := motion.Tick(e.now.Load())
+	if q.Rho < 0 {
+		return fmt.Errorf("shard: negative density threshold %g", q.Rho)
+	}
+	if q.L <= 0 {
+		return fmt.Errorf("shard: non-positive neighborhood edge %g", q.L)
+	}
+	if q.At < now || q.At > now+e.Horizon() {
+		return fmt.Errorf("shard: query time %d outside [%d, %d]", q.At, now, now+e.Horizon())
+	}
+	return nil
+}
+
+// Snapshot answers the snapshot PDR query q with the given method. Any
+// number of Snapshot/Interval calls may run concurrently; they serialize
+// only against mutations of the shards involved.
+func (e *Engine) Snapshot(q core.Query, m core.Method) (*core.Result, error) {
+	return e.SnapshotTraced(q, m, nil)
+}
+
+// SnapshotTraced is Snapshot recording its evaluation as a child span of sp,
+// with the scatter fan-out as per-shard child spans. A nil sp traces
+// nothing.
+func (e *Engine) SnapshotTraced(q core.Query, m core.Method, sp *telemetry.Span) (*core.Result, error) {
+	e.rlockAll()
+	defer e.runlockAll()
+	esp := sp.Child("snapshot")
+	esp.SetAttr("method", m.String())
+	esp.SetAttrInt("at", int64(q.At))
+	esp.SetAttrInt("shards", int64(e.n))
+	res, err := e.snapshotRLocked(q, m, true, esp)
+	esp.End()
+	if err != nil {
+		return nil, err
+	}
+	if e.met != nil {
+		e.met.Observe(res)
+	}
+	return res, nil
+}
+
+// snapshotRLocked answers one snapshot query under the all-shards read lock,
+// serving from the engine-level result cache when one is configured —
+// core.Server.snapshotLocked's twin, keyed by the engine epoch.
+func (e *Engine) snapshotRLocked(q core.Query, m core.Method, trackIO bool, sp *telemetry.Span) (*core.Result, error) {
+	if err := e.validateRLocked(q); err != nil {
+		if e.met != nil {
+			e.met.IncError()
+		}
+		return nil, err
+	}
+	if e.qcache == nil {
+		return e.evaluateRLocked(q, m, trackIO, sp)
+	}
+	k := cache.Key{Epoch: e.epoch.Load(), At: int64(q.At), Rho: q.Rho, L: q.L, Method: uint8(m)}
+	sw := stopwatch.Start()
+	var computed *core.Result // set only when this call wins the flight
+	ent, outcome, err := e.qcache.Do(k, func() (*cache.Entry, error) {
+		res, err := e.evaluateRLocked(q, m, trackIO, sp)
+		if err != nil {
+			return nil, err
+		}
+		computed = res
+		return &cache.Entry{
+			Region:           res.Region,
+			CPU:              res.CPU,
+			Accepted:         res.Accepted,
+			Rejected:         res.Rejected,
+			Candidates:       res.Candidates,
+			ObjectsRetrieved: res.ObjectsRetrieved,
+			TraceID:          uint64(sp.TraceID()),
+		}, nil
+	})
+	if err != nil {
+		if outcome != cache.Computed && e.met != nil {
+			e.met.IncError()
+		}
+		return nil, err
+	}
+	if outcome == cache.Computed {
+		return computed, nil
+	}
+	elapsed := sw.Elapsed()
+	csp := sp.Child("cache")
+	csp.SetAttr("outcome", outcome.String())
+	if csp != nil && ent.TraceID != 0 {
+		csp.SetAttr("sourceTrace", telemetry.TraceID(ent.TraceID).String())
+	}
+	csp.End()
+	return &core.Result{
+		Method:           m,
+		Region:           ent.Region,
+		CPU:              elapsed,
+		Wall:             elapsed,
+		Cached:           true,
+		CachedCPU:        ent.CPU,
+		Accepted:         ent.Accepted,
+		Rejected:         ent.Rejected,
+		Candidates:       ent.Candidates,
+		ObjectsRetrieved: ent.ObjectsRetrieved,
+		Phases:           []telemetry.PhaseSpan{{Name: "cache", Duration: elapsed}},
+	}, nil
+}
+
+// evaluateRLocked runs one snapshot evaluation under the all-shards read
+// lock, charging I/O from the summed per-shard pool deltas when trackIO is
+// set (interval fan-outs pass false and charge once at the interval level).
+func (e *Engine) evaluateRLocked(q core.Query, m core.Method, trackIO bool, sp *telemetry.Span) (*core.Result, error) {
+	res := &core.Result{Method: m}
+	var ioBefore storage.Stats
+	if trackIO {
+		ioBefore = e.PoolStats()
+	}
+	sw := stopwatch.Start()
+	var err error
+	switch m {
+	case core.FR:
+		err = e.snapshotFRRLocked(q, res, sp)
+	case core.PA:
+		err = e.snapshotPARLocked(q, res, sp)
+	case core.DHOptimistic, core.DHPessimistic:
+		err = e.snapshotDHRLocked(q, m, res, sp)
+	case core.BruteForce:
+		e.snapshotBFRLocked(q, res, sp)
+	default:
+		err = fmt.Errorf("shard: unknown method %d", m)
+	}
+	if err != nil {
+		if e.met != nil {
+			e.met.IncError()
+		}
+		return nil, err
+	}
+	res.CPU = sw.Elapsed()
+	res.Wall = res.CPU
+	if trackIO {
+		res.IOs = e.PoolStats().Sub(ioBefore).RandomIOs()
+		res.IOTime = time.Duration(res.IOs) * e.cfg.IOCharge
+	}
+	sp.SetAttrInt("ios", res.IOs)
+	res.Phases = sp.PhaseSummary()
+	return res, nil
+}
+
+// snapshotFRRLocked is the sharded FR evaluation: filter over the merged
+// per-shard histograms (bit-identical to one histogram — int32 counters over
+// disjoint primary populations are exactly additive), then scatter each
+// candidate window to the shards its grown rectangle intersects, dedup
+// replica registrations by object ID, and sweep. Partial regions land in
+// per-window slots and merge in window order, so the output is
+// byte-identical to the unsharded engine at any shard and worker count.
+func (e *Engine) snapshotFRRLocked(q core.Query, res *core.Result, sp *telemetry.Span) error {
+	ph := sp.Child("filter")
+	fr, err := dh.FilterMerged(e.hists, q.At, q.Rho, q.L)
+	if err != nil {
+		return err
+	}
+	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
+	region := fr.AcceptedRegion()
+
+	var windows geom.Region
+	for _, c := range fr.Candidates() {
+		windows.Add(e.hists[0].CellRect(c.I, c.J))
+	}
+	if e.cfg.MergeCandidates {
+		windows = geom.Coalesce(windows)
+	}
+	ph.SetAttrInt("accepted", int64(res.Accepted))
+	ph.SetAttrInt("rejected", int64(res.Rejected))
+	ph.SetAttrInt("candidates", int64(res.Candidates))
+	ph.End()
+	ph = sp.Child("refine")
+	ph.SetAttrInt("windows", int64(len(windows)))
+	if e.met != nil {
+		e.met.ObserveRefineFanout(len(windows))
+	}
+	slots := ph.Fork("window", len(windows))
+	parts := make([]geom.Region, len(windows))
+	retrieved := make([]int, len(windows))
+	e.par.ForEachSpan(len(windows), slots, func(wi int, wsp *telemetry.Span) {
+		cell := windows[wi]
+		grown := cell.Grow(q.L / 2)
+		parts[wi], retrieved[wi] = e.refineWindow(q, cell, grown, wsp)
+	})
+	var msw stopwatch.Stopwatch
+	if e.smet != nil {
+		msw = stopwatch.Start()
+	}
+	for wi := range parts {
+		res.ObjectsRetrieved += retrieved[wi]
+		region = append(region, parts[wi]...)
+	}
+	ph.End()
+	ph = sp.Child("union")
+	res.Region = geom.Coalesce(region)
+	ph.End()
+	if e.smet != nil {
+		e.smet.merge.Observe(msw.Elapsed().Seconds())
+	}
+	return nil
+}
+
+// refineWindow gathers one candidate window's objects from every shard the
+// grown rectangle intersects and sweeps them. Shards are visited in index
+// order and boundary straddlers (present in several shards' indexes as
+// replicas) are deduped by object ID on first sight, so the gathered point
+// multiset — and therefore the sweep — is identical to the unsharded one.
+func (e *Engine) refineWindow(q core.Query, cell, grown geom.Rect, wsp *telemetry.Span) (geom.Region, int) {
+	mask := e.router.Intersecting(grown)
+	width := bits.OnesCount64(mask)
+	wsp.SetAttrInt("shards", int64(width))
+	if e.smet != nil {
+		e.smet.scatter.Observe(float64(width))
+	}
+	var points []geom.Point
+	var seen map[motion.ObjectID]struct{}
+	if width > 1 {
+		seen = make(map[motion.ObjectID]struct{})
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		ssp := wsp.Child("shard")
+		ssp.SetAttrInt("shard", int64(i))
+		before := len(points)
+		e.shards[i].SearchWindow(grown, q.At, func(st motion.State) bool {
+			if seen != nil {
+				if _, dup := seen[st.ID]; dup {
+					return true
+				}
+				seen[st.ID] = struct{}{}
+			}
+			p := st.PositionAt(q.At)
+			if e.cfg.Area.Contains(p) {
+				points = append(points, p)
+			}
+			return true
+		})
+		ssp.SetAttrInt("retrieved", int64(len(points)-before))
+		ssp.End()
+	}
+	wsp.SetAttrInt("retrieved", int64(len(points)))
+	return sweep.DenseRects(points, cell, q.Rho, q.L), len(points)
+}
+
+func (e *Engine) snapshotPARLocked(q core.Query, res *core.Result, sp *telemetry.Span) error {
+	if e.surf == nil {
+		return fmt.Errorf("shard: PA surfaces are disabled (Config.DisablePA)")
+	}
+	// lint:ignore floateq config identity: the surfaces answer only the
+	// exact l they were built for; a nearly-equal l must be rejected too.
+	if q.L != e.surf.L() {
+		return fmt.Errorf("shard: PA surfaces are built for l=%g, query asked l=%g (the approximation method fixes l in advance; use FR for other edges)",
+			e.surf.L(), q.L)
+	}
+	ph := sp.Child("pa-eval")
+	e.surfMu.RLock()
+	region, err := e.surf.DenseRegion(q.At, q.Rho)
+	e.surfMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	res.Region = region
+	ph.End()
+	return nil
+}
+
+func (e *Engine) snapshotDHRLocked(q core.Query, m core.Method, res *core.Result, sp *telemetry.Span) error {
+	ph := sp.Child("filter")
+	fr, err := dh.FilterMerged(e.hists, q.At, q.Rho, q.L)
+	if err != nil {
+		return err
+	}
+	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
+	ph.SetAttrInt("accepted", int64(res.Accepted))
+	ph.SetAttrInt("rejected", int64(res.Rejected))
+	ph.SetAttrInt("candidates", int64(res.Candidates))
+	ph.End()
+	ph = sp.Child("union")
+	if m == core.DHOptimistic {
+		res.Region = fr.OptimisticRegion()
+	} else {
+		res.Region = fr.PessimisticRegion()
+	}
+	ph.End()
+	return nil
+}
+
+// snapshotBFRLocked concatenates the per-shard live gathers (primary-only
+// and disjoint, so no dedup) in shard order and sweeps the whole area.
+func (e *Engine) snapshotBFRLocked(q core.Query, res *core.Result, sp *telemetry.Span) {
+	ph := sp.Child("refine")
+	var points []geom.Point
+	for _, s := range e.shards {
+		points = s.AppendLivePoints(points, q.At)
+	}
+	res.ObjectsRetrieved = len(points)
+	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
+	ph.End()
+	ph = sp.Child("union")
+	res.Region = geom.Coalesce(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
+	ph.End()
+}
+
+// PastSnapshot answers the snapshot PDR query q for a timestamp in the past
+// from the per-shard movement archives (primary-only and disjoint). Requires
+// Config.KeepHistory.
+func (e *Engine) PastSnapshot(q core.Query) (*core.Result, error) {
+	return e.PastSnapshotTraced(q, nil)
+}
+
+// PastSnapshotTraced is PastSnapshot recording its evaluation as a child
+// span of sp (nil traces nothing).
+func (e *Engine) PastSnapshotTraced(q core.Query, sp *telemetry.Span) (*core.Result, error) {
+	e.rlockAll()
+	defer e.runlockAll()
+	if !e.cfg.KeepHistory {
+		return nil, fmt.Errorf("shard: history is disabled (set Config.KeepHistory)")
+	}
+	now := motion.Tick(e.now.Load())
+	if q.At >= now {
+		return nil, fmt.Errorf("shard: PastSnapshot is for t < now (%d); use Snapshot", now)
+	}
+	if q.Rho < 0 || q.L <= 0 {
+		return nil, fmt.Errorf("shard: bad query parameters rho=%g l=%g", q.Rho, q.L)
+	}
+	res := &core.Result{Method: core.BruteForce}
+	esp := sp.Child("past")
+	esp.SetAttrInt("at", int64(q.At))
+	esp.SetAttrInt("shards", int64(e.n))
+	sw := stopwatch.Start()
+	ph := esp.Child("refine")
+	var points []geom.Point
+	for _, s := range e.shards {
+		var err error
+		points, err = s.AppendPastPoints(points, q.At)
+		if err != nil {
+			ph.End()
+			esp.End()
+			return nil, err
+		}
+	}
+	res.ObjectsRetrieved = len(points)
+	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
+	ph.End()
+	ph = esp.Child("union")
+	res.Region = geom.Coalesce(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
+	ph.End()
+	res.CPU = sw.Elapsed()
+	res.Wall = res.CPU
+	res.Phases = esp.PhaseSummary()
+	esp.End()
+	return res, nil
+}
+
+// Interval answers the interval PDR query (rho, l, [q.At, until]) — the
+// union of the snapshot answers over the range — with per-timestamp
+// snapshots fanned out over the worker pool exactly like core.Server does,
+// each one scatter-gathering over the shards.
+func (e *Engine) Interval(q core.Query, until motion.Tick, m core.Method) (*core.Result, error) {
+	return e.IntervalTraced(q, until, m, nil)
+}
+
+// IntervalTraced is Interval recording the fan-out as a span subtree of sp
+// (nil traces nothing).
+func (e *Engine) IntervalTraced(q core.Query, until motion.Tick, m core.Method, sp *telemetry.Span) (*core.Result, error) {
+	if until < q.At {
+		return nil, fmt.Errorf("shard: empty interval [%d, %d]", q.At, until)
+	}
+	e.rlockAll()
+	defer e.runlockAll()
+	sw := stopwatch.Start()
+	n := int(until-q.At) + 1
+	isp := sp.Child("interval")
+	isp.SetAttr("method", m.String())
+	isp.SetAttrInt("snapshots", int64(n))
+	isp.SetAttrInt("shards", int64(e.n))
+	ioBefore := e.PoolStats()
+	subs := make([]*core.Result, n)
+	errs := make([]error, n)
+	slots := isp.Fork("snapshot", n)
+	e.par.ForEachSpan(n, slots, func(i int, ssp *telemetry.Span) {
+		sub := q
+		sub.At = q.At + motion.Tick(i)
+		ssp.SetAttrInt("at", int64(sub.At))
+		subs[i], errs[i] = e.snapshotRLocked(sub, m, false, ssp)
+	})
+	for _, err := range errs {
+		if err != nil {
+			isp.End()
+			return nil, err
+		}
+	}
+	out := &core.Result{Method: m, Cached: true}
+	var region geom.Region
+	for _, r := range subs {
+		region = append(region, r.Region...)
+		out.CPU += r.CPU
+		out.Cached = out.Cached && r.Cached
+		out.CachedCPU += r.CachedCPU
+		out.Accepted += r.Accepted
+		out.Rejected += r.Rejected
+		out.Candidates += r.Candidates
+		out.ObjectsRetrieved += r.ObjectsRetrieved
+		out.Phases = telemetry.MergeSpans(out.Phases, r.Phases)
+	}
+	out.IOs = e.PoolStats().Sub(ioBefore).RandomIOs()
+	out.IOTime = time.Duration(out.IOs) * e.cfg.IOCharge
+	usp := isp.Child("union")
+	out.Region = geom.Coalesce(region)
+	usp.End()
+	isp.SetAttrInt("ios", out.IOs)
+	isp.End()
+	out.Wall = sw.Elapsed()
+	if e.met != nil {
+		e.met.ObserveInterval(int64(n), out.Wall)
+	}
+	return out, nil
+}

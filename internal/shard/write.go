@@ -1,0 +1,421 @@
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"pdr/internal/motion"
+	"pdr/internal/stopwatch"
+)
+
+// owners records where one live object is registered: its primary shard
+// (which holds the object in every structure) plus a bitmask of replica
+// shards (index-only registrations for boundary straddlers; never includes
+// the primary bit).
+type owners struct {
+	primary  int
+	replicas uint64
+}
+
+// mask returns the full lock set: primary plus replicas.
+func (o owners) mask() uint64 { return o.replicas | 1<<uint(o.primary) }
+
+const regBuckets = 64
+
+// registry is the engine-global object directory: it routes deletes to the
+// shards that hold the object and detects duplicate inserts before they
+// could register an object under two primaries (which would double-count it
+// in every summary). Buckets shard the map so concurrent writers to
+// different objects rarely contend.
+type registry struct {
+	count      atomic.Int64
+	straddlers atomic.Int64
+	buckets    [regBuckets]regBucket
+}
+
+type regBucket struct {
+	mu sync.Mutex
+	m  map[motion.ObjectID]owners
+}
+
+func (r *registry) bucket(id motion.ObjectID) *regBucket {
+	return &r.buckets[uint64(id)%regBuckets]
+}
+
+// insert registers a live object; errors if the ID is already live.
+func (r *registry) insert(id motion.ObjectID, ow owners) error {
+	b := r.bucket(id)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.m[id]; ok {
+		return fmt.Errorf("shard: insert of live object %d (delete the stale movement first)", id)
+	}
+	if b.m == nil {
+		b.m = make(map[motion.ObjectID]owners)
+	}
+	b.m[id] = ow
+	r.count.Add(1)
+	if ow.replicas != 0 {
+		r.straddlers.Add(1)
+	}
+	return nil
+}
+
+// lookup returns the registration for id.
+func (r *registry) lookup(id motion.ObjectID) (owners, bool) {
+	b := r.bucket(id)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ow, ok := b.m[id]
+	return ow, ok
+}
+
+// remove drops the registration for id (no-op if absent).
+func (r *registry) remove(id motion.ObjectID) {
+	b := r.bucket(id)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ow, ok := b.m[id]
+	if !ok {
+		return
+	}
+	delete(b.m, id)
+	r.count.Add(-1)
+	if ow.replicas != 0 {
+		r.straddlers.Add(-1)
+	}
+}
+
+// lockAllWrite acquires every shard's write lock in ascending order.
+func (e *Engine) lockAllWrite() {
+	for i := 0; i < e.n; i++ {
+		e.lockShardWrite(i)
+	}
+}
+
+func (e *Engine) unlockAllWrite() {
+	for i := e.n - 1; i >= 0; i-- {
+		e.smu[i].Unlock()
+	}
+}
+
+// lockMaskWrite acquires the write locks in mask in ascending shard order —
+// the fixed order is what makes concurrent multi-shard writers deadlock-free.
+func (e *Engine) lockMaskWrite(mask uint64) {
+	for i := 0; i < e.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			e.lockShardWrite(i)
+		}
+	}
+}
+
+func (e *Engine) unlockMaskWrite(mask uint64) {
+	for i := e.n - 1; i >= 0; i-- {
+		if mask&(1<<uint(i)) != 0 {
+			e.smu[i].Unlock()
+		}
+	}
+}
+
+func (e *Engine) lockShardWrite(i int) {
+	if m := e.smet; m != nil {
+		sw := stopwatch.Start()
+		e.smu[i].Lock() // lint:ignore deferunlock acquire-only helper; callers release via unlockMaskWrite/unlockAllWrite
+		m.lockWait[i].Observe(sw.Elapsed().Seconds())
+		return
+	}
+	e.smu[i].Lock() // lint:ignore deferunlock acquire-only helper; callers release via unlockMaskWrite/unlockAllWrite
+}
+
+// noteRegistered maintains the per-shard replica counters for one insert.
+func (e *Engine) noteRegistered(replicas uint64) {
+	for m := replicas; m != 0; m &= m - 1 {
+		e.replicaCount[bits.TrailingZeros64(m)].Add(1)
+	}
+}
+
+// noteUnregistered reverses noteRegistered for one delete.
+func (e *Engine) noteUnregistered(replicas uint64) {
+	for m := replicas; m != 0; m &= m - 1 {
+		e.replicaCount[bits.TrailingZeros64(m)].Add(-1)
+	}
+}
+
+// primeLocked aligns every shard's histogram window at base before the first
+// data arrives. dh.FilterMerged requires equal window phases, and an
+// unsharded histogram fixes its phase lazily at the first insert's reference
+// time — so the engine replays that decision onto all shards at once. The
+// caller holds every shard write lock.
+func (e *Engine) primeLocked(base motion.Tick) {
+	if e.histPrimed.Load() {
+		return
+	}
+	for _, s := range e.shards {
+		s.PrimeHistogram(base)
+	}
+	e.histPrimed.Store(true)
+}
+
+// Load bulk-inserts the initial object states, partitioned across shards by
+// the router. Mirrors core.Server.Load, including the lazy histogram-phase
+// choice (states[0].Ref).
+func (e *Engine) Load(states []motion.State) error {
+	e.lockAllWrite()
+	defer e.unlockAllWrite()
+	e.epoch.Add(1)
+	if e.smet != nil {
+		e.smet.writeFan.Observe(float64(e.n))
+	}
+	if len(states) == 0 {
+		return nil
+	}
+	e.primeLocked(states[0].Ref)
+	now := motion.Tick(e.now.Load())
+	own := make([][]motion.State, e.n)
+	reps := make([][]motion.State, e.n)
+	for _, st := range states {
+		primary, replicas := e.router.OwnersOf(st, now)
+		if err := e.reg.insert(st.ID, owners{primary: primary, replicas: replicas}); err != nil {
+			return fmt.Errorf("shard: duplicate object %d in bulk load", st.ID)
+		}
+		e.noteRegistered(replicas)
+		own[primary] = append(own[primary], st)
+		for m := replicas; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			reps[i] = append(reps[i], st)
+		}
+	}
+	if e.surf != nil {
+		// The global surface sees the full stream in arrival order — the
+		// bit-identity requirement for float coefficient sums.
+		e.surfMu.Lock()
+		for _, st := range states {
+			e.surf.Insert(st)
+		}
+		e.surfMu.Unlock()
+	}
+	errs := make([]error, e.n)
+	e.par.ForEach(e.n, func(i int) {
+		errs[i] = e.shards[i].LoadShard(own[i], reps[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// op is one routed update for a single shard.
+type op struct {
+	u       motion.Update
+	replica bool
+}
+
+// planUpdate routes one update onto the per-shard op lists, maintaining the
+// registry. Must run in stream order (registry mutations are sequential);
+// the resulting per-shard lists then apply in parallel because each shard's
+// list preserves the stream's relative order for the objects it holds.
+func (e *Engine) planUpdate(u motion.Update, now motion.Tick, plan [][]op) error {
+	switch u.Kind {
+	case motion.Insert:
+		primary, replicas := e.router.OwnersOf(u.State, now)
+		if err := e.reg.insert(u.State.ID, owners{primary: primary, replicas: replicas}); err != nil {
+			return err
+		}
+		e.noteRegistered(replicas)
+		plan[primary] = append(plan[primary], op{u: u})
+		for m := replicas; m != 0; m &= m - 1 {
+			plan[bits.TrailingZeros64(m)] = append(plan[bits.TrailingZeros64(m)], op{u: u, replica: true})
+		}
+		return nil
+	case motion.Delete:
+		ow, ok := e.reg.lookup(u.State.ID)
+		if !ok {
+			return fmt.Errorf("shard: delete of unknown object %d", u.State.ID)
+		}
+		e.reg.remove(u.State.ID)
+		e.noteUnregistered(ow.replicas)
+		plan[ow.primary] = append(plan[ow.primary], op{u: u})
+		for m := ow.replicas; m != 0; m &= m - 1 {
+			plan[bits.TrailingZeros64(m)] = append(plan[bits.TrailingZeros64(m)], op{u: u, replica: true})
+		}
+		return nil
+	default:
+		return fmt.Errorf("shard: unknown update kind %d", u.Kind)
+	}
+}
+
+// Tick advances engine time to now and applies the tick's update stream. A
+// tick touches every shard (all clocks and histogram windows advance in
+// lockstep), so it write-locks the whole engine; the update stream is then
+// routed and the per-shard lists apply in parallel.
+//
+// Error semantics mirror core.Server.Tick: an invalid update stops
+// processing and the tick is partially applied (updates on other shards from
+// the valid prefix still land). The epoch is bumped regardless, so cached
+// answers never survive a partial tick.
+func (e *Engine) Tick(now motion.Tick, updates []motion.Update) error {
+	e.lockAllWrite()
+	defer e.unlockAllWrite()
+	e.epoch.Add(1)
+	if e.smet != nil {
+		e.smet.writeFan.Observe(float64(e.n))
+	}
+	if cur := motion.Tick(e.now.Load()); now < cur {
+		return fmt.Errorf("shard: time moved backwards: %d < %d", now, cur)
+	}
+	e.now.Store(int64(now))
+	e.histPrimed.Store(true) // every histogram window advances to now below
+	plan := make([][]op, e.n)
+	var planErr error
+	applied := updates
+	for idx, u := range updates {
+		if err := e.planUpdate(u, now, plan); err != nil {
+			planErr = err
+			applied = updates[:idx]
+			break
+		}
+	}
+	if e.surf != nil {
+		e.surfMu.Lock()
+		e.surf.Advance(now)
+		for _, u := range applied {
+			e.surf.Apply(u)
+		}
+		e.surfMu.Unlock()
+	}
+	errs := make([]error, e.n)
+	e.par.ForEach(e.n, func(i int) {
+		if err := e.shards[i].Tick(now, nil); err != nil {
+			errs[i] = err
+			return
+		}
+		for _, o := range plan[i] {
+			var err error
+			if o.replica {
+				err = e.shards[i].ApplyReplica(o.u)
+			} else {
+				err = e.shards[i].Apply(o.u)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return planErr
+}
+
+// Apply processes a single update record, write-locking only the shards that
+// hold the object — the sharded engine's write-scaling lever: updates to
+// objects in different territories run concurrently instead of serializing
+// on one engine lock.
+func (e *Engine) Apply(u motion.Update) error {
+	switch u.Kind {
+	case motion.Insert:
+		return e.applyInsert(u)
+	case motion.Delete:
+		return e.applyDelete(u)
+	default:
+		return fmt.Errorf("shard: unknown update kind %d", u.Kind)
+	}
+}
+
+func (e *Engine) applyInsert(u motion.Update) error {
+	if !e.histPrimed.Load() {
+		// First-ever data: fix every histogram's window phase at this
+		// insert's reference time, exactly like an unsharded histogram
+		// would. Needs all locks; re-checked under them.
+		e.lockAllWrite()
+		e.primeLocked(u.State.Ref)
+		e.unlockAllWrite()
+	}
+	primary, replicas := e.router.OwnersOf(u.State, motion.Tick(e.now.Load()))
+	ow := owners{primary: primary, replicas: replicas}
+	mask := ow.mask()
+	e.lockMaskWrite(mask)
+	defer e.unlockMaskWrite(mask)
+	e.epoch.Add(1)
+	if e.smet != nil {
+		e.smet.writeFan.Observe(float64(bits.OnesCount64(mask)))
+	}
+	if err := e.reg.insert(u.State.ID, ow); err != nil {
+		return err
+	}
+	e.noteRegistered(replicas)
+	if err := e.shards[primary].Apply(u); err != nil {
+		// The primary shard vetoed the insert (it cannot be a duplicate —
+		// the registry already screened that — but keep the registry
+		// consistent on any failure).
+		e.reg.remove(u.State.ID)
+		e.noteUnregistered(replicas)
+		return err
+	}
+	for m := replicas; m != 0; m &= m - 1 {
+		if err := e.shards[bits.TrailingZeros64(m)].ApplyReplica(u); err != nil {
+			return err
+		}
+	}
+	if e.surf != nil {
+		e.surfMu.Lock()
+		e.surf.Apply(u)
+		e.surfMu.Unlock()
+	}
+	return nil
+}
+
+func (e *Engine) applyDelete(u motion.Update) error {
+	// The lock set comes from the registry, and the registration can change
+	// (or vanish) between the unlocked lookup and the lock acquisition, so
+	// verify under the locks and retry on a race.
+	for {
+		ow, ok := e.reg.lookup(u.State.ID)
+		if !ok {
+			return fmt.Errorf("shard: delete of unknown object %d", u.State.ID)
+		}
+		mask := ow.mask()
+		e.lockMaskWrite(mask)
+		if cur, ok := e.reg.lookup(u.State.ID); !ok || cur != ow {
+			e.unlockMaskWrite(mask)
+			continue
+		}
+		err := e.finishDeleteLocked(u, ow)
+		e.unlockMaskWrite(mask)
+		return err
+	}
+}
+
+// finishDeleteLocked completes a delete whose owner set is locked and
+// verified. The primary validates the delete (state match, archival) before
+// the registry forgets the object, so a mismatched delete leaves everything
+// intact.
+func (e *Engine) finishDeleteLocked(u motion.Update, ow owners) error {
+	e.epoch.Add(1)
+	if e.smet != nil {
+		e.smet.writeFan.Observe(float64(bits.OnesCount64(ow.mask())))
+	}
+	if err := e.shards[ow.primary].Apply(u); err != nil {
+		return err
+	}
+	for m := ow.replicas; m != 0; m &= m - 1 {
+		if err := e.shards[bits.TrailingZeros64(m)].ApplyReplica(u); err != nil {
+			return err
+		}
+	}
+	e.reg.remove(u.State.ID)
+	e.noteUnregistered(ow.replicas)
+	if e.surf != nil {
+		e.surfMu.Lock()
+		e.surf.Delete(u.State, u.At)
+		e.surfMu.Unlock()
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package storage
 
 import (
+	"bytes"
+	"math"
+	"pdr/internal/telemetry"
+	"strings"
 	"testing"
 	"time"
 )
@@ -158,5 +162,28 @@ func TestUnlimitedPoolNeverEvicts(t *testing.T) {
 	}
 	if p.Capacity() != 0 {
 		t.Fatalf("Capacity = %d, want 0", p.Capacity())
+	}
+}
+
+// TestPoolHitRatioFreshProcess pins the zero-denominator guard: with no
+// logical reads yet the ratio must be 0, not NaN — NaN in the
+// pdr_pool_hit_ratio gauge (and /v1/stats poolHitRatio) breaks a Prometheus
+// scrape of a fresh process.
+func TestPoolHitRatioFreshProcess(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("fresh HitRatio = %v, want 0", r)
+	}
+	reg := telemetry.NewRegistry()
+	NewPoolMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if strings.Contains(body, "NaN") {
+		t.Fatalf("fresh exposition contains NaN:\n%s", body)
+	}
+	if !strings.Contains(body, "pdr_pool_hit_ratio 0") {
+		t.Fatalf("fresh exposition missing zero hit ratio:\n%s", body)
 	}
 }

@@ -113,6 +113,118 @@ func TestBigMinProperties(t *testing.T) {
 	}
 }
 
+// TestBigMinEdgeCases pins the boundary behavior the random tests are
+// unlikely to hit: windows at the coordinate extremes, single-cell windows,
+// and codes already at or past the window's maximum.
+func TestBigMinEdgeCases(t *testing.T) {
+	const max = uint32(0xffffffff)
+
+	// Single-cell window: the only candidate is the cell's own code, and
+	// only while the scan position is strictly below it.
+	z := Interleave(9, 4)
+	if bm, ok := BigMin(0, 9, 4, 9, 4); !ok || bm != z {
+		t.Fatalf("BigMin(0, single cell) = (%#x, %v), want (%#x, true)", bm, ok, z)
+	}
+	if bm, ok := BigMin(z-1, 9, 4, 9, 4); !ok || bm != z {
+		t.Fatalf("BigMin(z-1, single cell) = (%#x, %v), want (%#x, true)", bm, ok, z)
+	}
+	if _, ok := BigMin(z, 9, 4, 9, 4); ok {
+		t.Fatal("BigMin must be strictly greater: the cell's own code is not an answer")
+	}
+	if _, ok := BigMin(z+1, 9, 4, 9, 4); ok {
+		t.Fatal("code past a single-cell window has no BigMin")
+	}
+
+	// The origin cell's code is 0, so nothing in its window exceeds 0.
+	if _, ok := BigMin(0, 0, 0, 0, 0); ok {
+		t.Fatal("BigMin(0, origin cell) must not exist")
+	}
+
+	// Window pinned at the top corner of the coordinate space: the answer
+	// saturates at the all-ones code without overflowing.
+	ztop := Interleave(max, max)
+	if ztop != ^uint64(0) {
+		t.Fatalf("top-corner code = %#x, want all ones", ztop)
+	}
+	if bm, ok := BigMin(ztop-1, max, max, max, max); !ok || bm != ztop {
+		t.Fatalf("BigMin(ztop-1, top corner) = (%#x, %v), want (%#x, true)", bm, ok, ztop)
+	}
+	if _, ok := BigMin(ztop, max, max, max, max); ok {
+		t.Fatal("no code exceeds the all-ones corner")
+	}
+
+	// Full-domain window: every code's successor is code+1.
+	for _, code := range []uint64{0, 1, 0x5555555555555555, 0xaaaaaaaaaaaaaaaa, ztop - 1} {
+		if bm, ok := BigMin(code, 0, 0, max, max); !ok || bm != code+1 {
+			t.Fatalf("BigMin(%#x, full domain) = (%#x, %v), want (%#x, true)", code, bm, ok, code+1)
+		}
+	}
+	if _, ok := BigMin(ztop, 0, 0, max, max); ok {
+		t.Fatal("BigMin(all ones, full domain) must not exist")
+	}
+
+	// Code far past the window in curve order: monotonicity puts every
+	// in-window code below it.
+	if _, ok := BigMin(Interleave(100, 100), 2, 2, 5, 5); ok {
+		t.Fatal("code beyond the window max has no BigMin")
+	}
+
+	// Window hugging the top corner, scan position at the very bottom: the
+	// answer is the window minimum.
+	if bm, ok := BigMin(0, max-1, max-1, max, max); !ok || bm != Interleave(max-1, max-1) {
+		t.Fatalf("BigMin(0, corner window) = (%#x, %v), want window min %#x", bm, ok, Interleave(max-1, max-1))
+	}
+}
+
+// FuzzBigMinInWindow is the InWindow/BigMin agreement target scripts/check.sh
+// smoke-runs: the two must tell one consistent story about which codes a
+// range scan may skip. Coordinates are checked twice — masked to a small
+// grid where exact brute force is affordable, and raw for the ordering and
+// membership invariants.
+func FuzzBigMinInWindow(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(4), uint32(4), uint64(7))
+	f.Add(uint32(9), uint32(4), uint32(9), uint32(4), uint64(0))
+	f.Add(uint32(0xffffffff), uint32(0xffffffff), uint32(0xffffffff), uint32(0xffffffff), ^uint64(0)-1)
+	f.Add(uint32(3), uint32(60), uint32(40), uint32(61), uint64(0x2f))
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2 uint32, code uint64) {
+		if x2 < x1 {
+			x1, x2 = x2, x1
+		}
+		if y2 < y1 {
+			y1, y2 = y2, y1
+		}
+		// Raw-range invariants: strictly greater, inside the window, and
+		// complete (a miss means the window truly holds nothing above code,
+		// whose witness is the window's maximum code Interleave(x2, y2)).
+		bm, ok := BigMin(code, x1, y1, x2, y2)
+		if ok {
+			if bm <= code {
+				t.Fatalf("BigMin(%#x) = %#x is not strictly greater", code, bm)
+			}
+			if !InWindow(bm, x1, y1, x2, y2) {
+				t.Fatalf("BigMin(%#x) = %#x outside window [%d,%d]..[%d,%d]", code, bm, x1, y1, x2, y2)
+			}
+		} else if zmax := Interleave(x2, y2); zmax > code {
+			t.Fatalf("BigMin(%#x) found nothing but window max %#x exceeds it", code, zmax)
+		}
+		// Small-grid exactness: brute force over every cell.
+		sx1, sy1, sx2, sy2 := x1&31, y1&31, x2&31, y2&31
+		if sx2 < sx1 {
+			sx1, sx2 = sx2, sx1
+		}
+		if sy2 < sy1 {
+			sy1, sy2 = sy2, sy1
+		}
+		scode := code & 0xfff // within the 64x64 code range
+		got, gok := BigMin(scode, sx1, sy1, sx2, sy2)
+		want, wok := bruteBigMin(scode, sx1, sy1, sx2, sy2)
+		if gok != wok || (gok && got != want) {
+			t.Fatalf("BigMin(%#x, [%d,%d]..[%d,%d]) = (%#x, %v), want (%#x, %v)",
+				scode, sx1, sy1, sx2, sy2, got, gok, want, wok)
+		}
+	})
+}
+
 func TestInWindow(t *testing.T) {
 	z := Interleave(5, 7)
 	if !InWindow(z, 5, 7, 5, 7) {

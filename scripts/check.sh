@@ -45,6 +45,12 @@ go test -race ./internal/service/... ./internal/monitor/...
 step "go test -race (engine read path + sweep scratch reuse + result cache)"
 go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage ./internal/cache
 
+step "go test -race (sharded engine: shard-local writes vs scatter-gather reads)"
+go test -race ./internal/shard
+
+step "shard equivalence (sharded answers bit-identical to the unsharded engine)"
+go test -run 'TestEngineMatchesServer|TestShardedServiceFlow' -count=1 ./internal/shard ./internal/service
+
 step "telemetry (race on the atomic registry + trace store + instrumented service)"
 go test -race ./internal/telemetry ./internal/tracestore ./internal/service
 
@@ -56,6 +62,9 @@ go test -run '^$' -fuzz FuzzOutlineAreaIdentity -fuzztime "${FUZZ_SECS}s" ./inte
 
 step "fuzz smoke: sweep-vs-oracle refinement (${FUZZ_SECS}s)"
 go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime "${FUZZ_SECS}s" ./internal/sweep/
+
+step "fuzz smoke: zcurve InWindow/BigMin agreement (${FUZZ_SECS}s)"
+go test -run '^$' -fuzz FuzzBigMinInWindow -fuzztime "${FUZZ_SECS}s" ./internal/zcurve/
 
 step "pdrvet (project-specific static analysis)"
 go run ./cmd/pdrvet ./...
