@@ -6,15 +6,16 @@
 //	pdrbench [-exp all] [-n 100000] [-queries 5] [-warm 20] [-seed 1] [-sizes 10000,50000,100000]
 //
 // Experiments: table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b,
-// fig10a, fig10b, interval, parallel, cache, shard, baselines, ablations,
-// all. Absolute numbers depend on the host; the paper's shapes (who wins, by
-// what factor) are the reproduction target. "parallel" (worker-pool
-// scaling), "cache" (result-cache cold/warm/sliding workloads), and "shard"
-// (unsharded vs space-partitioned engines under read and mixed read/write
-// load) are host-dependent by design and not part of "all"; with
+// fig10a, fig10b, interval, parallel, cache, shard, hotpath, baselines,
+// ablations, all. Absolute numbers depend on the host; the paper's shapes
+// (who wins, by what factor) are the reproduction target. "parallel"
+// (worker-pool scaling), "cache" (result-cache cold/warm/sliding workloads),
+// "shard" (unsharded vs space-partitioned engines under read and mixed
+// read/write load), and "hotpath" (single-core kernel ns/op, B/op,
+// allocs/op) are host-dependent by design and not part of "all"; with
 // -benchjson DIR they record BENCH_interval.json + BENCH_snapshot.json,
-// BENCH_cache.json, and BENCH_shard.json respectively (see
-// docs/PERFORMANCE.md).
+// BENCH_cache.json, BENCH_shard.json, and BENCH_hotpath.json respectively
+// (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, cache, shard, baselines, ablations, all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig7, fig8a, fig8b, fig8c, fig8d, fig9a, fig9b, fig10a, fig10b, interval, parallel, cache, shard, hotpath, baselines, ablations, all)")
 		n         = flag.Int("n", 100000, "number of moving objects (CH100K analogue)")
 		queries   = flag.Int("queries", 5, "queries per parameter point")
 		warm      = flag.Int("warm", 20, "warm-up ticks of update traffic before measuring")
@@ -42,7 +43,7 @@ func main() {
 		workers   = flag.String("workers", "1,2,4,8", "worker-pool sizes for -exp parallel")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result-cache budget for -exp cache")
 		shards    = flag.String("shards", "2,4,8", "shard widths for -exp shard (the unsharded baseline always runs first)")
-		benchJSON = flag.String("benchjson", "", "when set with -exp parallel, -exp cache, or -exp shard, write the BENCH_*.json baselines into this directory")
+		benchJSON = flag.String("benchjson", "", "when set with -exp parallel, -exp cache, -exp shard, or -exp hotpath, write the BENCH_*.json baselines into this directory")
 	)
 	flag.Parse()
 
@@ -297,6 +298,43 @@ func run(r *experiments.Runner, exp string, sizes, workers, shards []int, cacheB
 			fmt.Println("wrote", path)
 		}
 	}
+	// The hotpath study is opt-in for the same reason: it measures this
+	// host's per-core kernel cost, not a paper figure.
+	if exp == "hotpath" {
+		section("Hotpath (extension)", "single-core query kernels: ns/op, B/op, allocs/op")
+		hb, err := r.HotpathBench(experiments.DefaultHotpathBenchParams())
+		if err != nil {
+			return err
+		}
+		if benchJSON != "" {
+			path := filepath.Join(benchJSON, "BENCH_hotpath.json")
+			// Carry the pre-optimization numbers forward: a re-recorded
+			// baseline keeps the original "before" so the file always shows
+			// the rewrite's delta.
+			if f, err := os.Open(path); err == nil {
+				prior, perr := experiments.ReadHotpathJSON(f)
+				f.Close()
+				if perr == nil {
+					hb.MergeBefore(prior)
+				}
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = hb.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		if err := experiments.PrintHotpath(os.Stdout, hb); err != nil {
+			return err
+		}
+	}
 	// The shard study is opt-in for the same reason: it measures this
 	// host's contention relief, not a paper figure.
 	if exp == "shard" {
@@ -370,7 +408,7 @@ func run(r *experiments.Runner, exp string, sizes, workers, shards []int, cacheB
 	}
 	switch exp {
 	case "all", "table1", "fig7", "fig8a", "fig8b", "fig8c", "fig8d",
-		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "cache", "shard", "baselines", "ablations":
+		"fig9a", "fig9b", "fig10a", "fig10b", "interval", "parallel", "cache", "shard", "hotpath", "baselines", "ablations":
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

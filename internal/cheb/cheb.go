@@ -8,6 +8,7 @@ package cheb
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // T evaluates the Chebyshev polynomial of the first kind T_k at x using the
@@ -91,6 +92,42 @@ type Series2D struct {
 // (K+1)(K+2)/2 (the paper's storage formula).
 func NumCoeffs(k int) int { return (k + 1) * (k + 2) / 2 }
 
+// interval is a closed interval [lo, hi] of Chebyshev-polynomial values.
+type interval struct{ lo, hi float64 }
+
+// evalScratch holds the per-call working buffers of the evaluation kernels
+// (T_i value vectors, Lemma-4 factors, per-degree bounds). The hot kernels
+// run once per branch-and-bound probe and once per movement update, so the
+// scratch lives in a sync.Pool rather than being made fresh each call. It
+// cannot live on Series2D itself: any number of readers evaluate the same
+// series concurrently under the engine's read lock.
+type evalScratch struct {
+	tx, ty []float64  // Eval: T_i(x), T_j(y)
+	ax, ay []float64  // AddBoxDelta: Lemma-4 one-dimensional factors
+	bx, by []interval // Bounds: per-degree interval bounds
+}
+
+// scratches pools evaluation scratch across goroutines; buffers grow to the
+// largest degree evaluated and are reused across calls.
+var scratches = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// growF64 returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growIv is growF64 for interval scratch.
+func growIv(buf []interval, n int) []interval {
+	if cap(buf) < n {
+		return make([]interval, n)
+	}
+	return buf[:n]
+}
+
 // NewSeries2D returns the zero series of total degree k.
 func NewSeries2D(k int) (*Series2D, error) {
 	if k < 0 {
@@ -115,8 +152,10 @@ func (s *Series2D) At(i, j int) float64 { return s.A[s.Index(i, j)] }
 // (docs/LINT.md); called per branch-and-bound probe.
 func (s *Series2D) Eval(x, y float64) float64 {
 	k := s.K
-	tx := make([]float64, k+1)
-	ty := make([]float64, k+1)
+	sc := scratches.Get().(*evalScratch)
+	sc.tx = growF64(sc.tx, k+1)
+	sc.ty = growF64(sc.ty, k+1)
+	tx, ty := sc.tx, sc.ty
 	chebVals(tx, x)
 	chebVals(ty, y)
 	var sum float64
@@ -129,6 +168,7 @@ func (s *Series2D) Eval(x, y float64) float64 {
 		}
 		sum += row * tx[i]
 	}
+	scratches.Put(sc)
 	return sum
 }
 
@@ -178,8 +218,10 @@ func (s *Series2D) AddBoxDelta(x1, y1, x2, y2, value float64) {
 		return
 	}
 	k := s.K
-	ax := make([]float64, k+1)
-	ay := make([]float64, k+1)
+	sc := scratches.Get().(*evalScratch)
+	sc.ax = growF64(sc.ax, k+1)
+	sc.ay = growF64(sc.ay, k+1)
+	ax, ay := sc.ax, sc.ay
 	boxFactors(ax, x1, x2)
 	boxFactors(ay, y1, y2)
 	scale := value / (math.Pi * math.Pi)
@@ -198,6 +240,7 @@ func (s *Series2D) AddBoxDelta(x1, y1, x2, y2, value float64) {
 			idx++
 		}
 	}
+	scratches.Put(sc)
 }
 
 // boxFactors fills a with the one-dimensional factors Ax_i of Lemma 4 for
@@ -229,14 +272,15 @@ func boxFactors(a []float64, z1, z2 float64) {
 // called per branch-and-bound box.
 func (s *Series2D) Bounds(x1, y1, x2, y2 float64) (lo, hi float64) {
 	k := s.K
-	type iv struct{ lo, hi float64 }
-	bx := make([]iv, k+1)
-	by := make([]iv, k+1)
+	sc := scratches.Get().(*evalScratch)
+	sc.bx = growIv(sc.bx, k+1)
+	sc.by = growIv(sc.by, k+1)
+	bx, by := sc.bx, sc.by
 	for i := 0; i <= k; i++ {
 		l, h := Bound(i, x1, x2)
-		bx[i] = iv{l, h}
+		bx[i] = interval{l, h}
 		l, h = Bound(i, y1, y2)
-		by[i] = iv{l, h}
+		by[i] = interval{l, h}
 	}
 	idx := 0
 	for i := 0; i <= k; i++ {
@@ -262,5 +306,6 @@ func (s *Series2D) Bounds(x1, y1, x2, y2 float64) (lo, hi float64) {
 			}
 		}
 	}
+	scratches.Put(sc)
 	return lo, hi
 }

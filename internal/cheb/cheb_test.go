@@ -271,3 +271,37 @@ func BenchmarkSeriesEval(b *testing.B) {
 		s.Eval(0.1, -0.2)
 	}
 }
+
+// TestKernelsAllocationFree pins the hot kernels at zero steady-state
+// allocations: after the scratch pool is warm, Eval, Bounds, and AddBoxDelta
+// must not touch the heap (the zero-allocation contract documented in
+// docs/PERFORMANCE.md).
+func TestKernelsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	s, err := NewSeries2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddBoxDelta(-0.4, -0.3, 0.2, 0.5, 1)
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		sink += s.Eval(0.1, -0.2)
+	}); n != 0 {
+		t.Errorf("Eval allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		lo, hi := s.Bounds(-0.5, -0.25, 0.5, 0.25)
+		sink += lo + hi
+	}); n != 0 {
+		t.Errorf("Bounds allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s.AddBoxDelta(-0.2, -0.2, 0.2, 0.2, 1)
+		s.AddBoxDelta(-0.2, -0.2, 0.2, 0.2, -1)
+	}); n != 0 {
+		t.Errorf("AddBoxDelta allocates %v per run, want 0", n)
+	}
+	_ = sink
+}

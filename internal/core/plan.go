@@ -48,13 +48,15 @@ func (s *Server) Recommend(q Query, allowApprox bool) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	cands := fr.Candidates()
+	fr.Release()
 	plan := &Plan{
 		// A branch-and-bound extraction evaluates on the order of the md^2
 		// floor cells in the worst case; the constant per evaluation is
 		// comparable to one sweep event per retrieved object.
 		PABudget: float64(s.cfg.PAMD) * float64(s.cfg.PAMD) / 8,
 	}
-	for _, c := range fr.Candidates() {
+	for _, c := range cands {
 		plan.Candidates++
 		grown := s.hist.CellRect(c.I, c.J).Grow(q.L / 2)
 		est, err := s.hist.EstimateCount(q.At, grown)

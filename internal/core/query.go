@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pdr/internal/cache"
@@ -13,6 +14,92 @@ import (
 	"pdr/internal/sweep"
 	"pdr/internal/telemetry"
 )
+
+// frScratch holds one FR snapshot's scatter/gather slices: the per-window
+// result slots the refinement fan-out writes and the merge loop drains. The
+// slices are request-scoped (no Result retains them), so they pool across
+// queries; region slots are nil-ed during the merge so a pooled buffer never
+// pins another query's answer.
+type frScratch struct {
+	parts     []geom.Region
+	retrieved []int
+}
+
+var frScratches = sync.Pool{New: func() any { return new(frScratch) }}
+
+// intervalScratch is frScratch for the interval fan-out: per-timestamp
+// sub-result and error slots.
+type intervalScratch struct {
+	subs []*Result
+	errs []error
+}
+
+var intervalScratches = sync.Pool{New: func() any { return new(intervalScratch) }}
+
+// pointBufs pools the per-window point-gather buffers of the refinement
+// workers (sweep.DenseRects reads the points and retains nothing).
+var pointBufs = sync.Pool{New: func() any { return new([]geom.Point) }}
+
+// growRegions returns buf resized to n nil slots, reallocating only when the
+// capacity is insufficient.
+func growRegions(buf []geom.Region, n int) []geom.Region {
+	if cap(buf) < n {
+		return make([]geom.Region, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// growInts is growRegions for int slots.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growResults is growRegions for sub-result slots.
+func growResults(buf []*Result, n int) []*Result {
+	if cap(buf) < n {
+		return make([]*Result, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// growErrors is growRegions for error slots.
+func growErrors(buf []error, n int) []error {
+	if cap(buf) < n {
+		return make([]error, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// releaseIntervalScratch clears the slot pointers (so the pool never pins
+// sub-results or errors) and returns the scratch.
+func releaseIntervalScratch(sc *intervalScratch) {
+	for i := range sc.subs {
+		sc.subs[i] = nil
+	}
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	intervalScratches.Put(sc)
+}
 
 // Method selects the query evaluation strategy.
 type Method int
@@ -279,12 +366,14 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, sp *telemetry.Span) erro
 	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
 	region := fr.AcceptedRegion()
 
-	var windows geom.Region
-	for _, c := range fr.Candidates() {
+	cands := fr.Candidates()
+	fr.Release()
+	windows := make(geom.Region, 0, len(cands))
+	for _, c := range cands {
 		windows.Add(s.hist.CellRect(c.I, c.J))
 	}
 	if s.cfg.MergeCandidates {
-		windows = geom.Coalesce(windows)
+		windows = geom.CoalesceInPlace(windows)
 	}
 	ph.SetAttrInt("accepted", int64(res.Accepted))
 	ph.SetAttrInt("rejected", int64(res.Rejected))
@@ -297,14 +386,17 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, sp *telemetry.Span) erro
 	}
 	// One child span per window, pre-allocated in window order so the tree
 	// shape is identical at any worker count; each worker fills only its
-	// own slot.
+	// own slot. The slots themselves come from the scatter/gather pool.
 	slots := ph.Fork("window", len(windows))
-	parts := make([]geom.Region, len(windows))
-	retrieved := make([]int, len(windows))
+	sc := frScratches.Get().(*frScratch)
+	sc.parts = growRegions(sc.parts, len(windows))
+	sc.retrieved = growInts(sc.retrieved, len(windows))
+	parts, retrieved := sc.parts, sc.retrieved
 	s.par.ForEachSpan(len(windows), slots, func(wi int, wsp *telemetry.Span) {
 		cell := windows[wi]
 		grown := cell.Grow(q.L / 2)
-		var points []geom.Point
+		pb := pointBufs.Get().(*[]geom.Point)
+		points := (*pb)[:0]
 		s.index.Search(grown, q.At, func(st motion.State) bool {
 			p := st.PositionAt(q.At)
 			if s.cfg.Area.Contains(p) {
@@ -315,14 +407,20 @@ func (s *Server) snapshotFRLocked(q Query, res *Result, sp *telemetry.Span) erro
 		retrieved[wi] = len(points)
 		wsp.SetAttrInt("retrieved", int64(len(points)))
 		parts[wi] = sweep.DenseRects(points, cell, q.Rho, q.L)
+		*pb = points
+		pointBufs.Put(pb)
 	})
 	for wi := range parts {
 		res.ObjectsRetrieved += retrieved[wi]
 		region = append(region, parts[wi]...)
+		parts[wi] = nil // do not pin this window's region in the pool
 	}
+	frScratches.Put(sc)
 	ph.End()
 	ph = sp.Child("union")
-	res.Region = geom.Coalesce(region)
+	// region is appended fresh above (AcceptedRegion allocates per call), so
+	// the union coalesces in place.
+	res.Region = geom.CoalesceInPlace(region)
 	ph.End()
 	return nil
 }
@@ -364,13 +462,15 @@ func (s *Server) snapshotDHLocked(q Query, m Method, res *Result, sp *telemetry.
 	} else {
 		res.Region = fr.PessimisticRegion()
 	}
+	fr.Release()
 	ph.End()
 	return nil
 }
 
 func (s *Server) snapshotBFLocked(q Query, res *Result, sp *telemetry.Span) {
 	ph := sp.Child("refine")
-	points := make([]geom.Point, 0, len(s.live))
+	pb := pointBufs.Get().(*[]geom.Point)
+	points := (*pb)[:0]
 	for _, st := range s.live {
 		p := st.PositionAt(q.At)
 		if s.cfg.Area.Contains(p) {
@@ -381,7 +481,9 @@ func (s *Server) snapshotBFLocked(q Query, res *Result, sp *telemetry.Span) {
 	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
 	ph.End()
 	ph = sp.Child("union")
-	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	res.Region = geom.CoalesceInPlace(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	*pb = points
+	pointBufs.Put(pb)
 	ph.End()
 }
 
@@ -426,7 +528,7 @@ func (s *Server) PastSnapshotTraced(q Query, sp *telemetry.Span) (*Result, error
 	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
 	ph.End()
 	ph = esp.Child("union")
-	res.Region = geom.Coalesce(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
+	res.Region = geom.CoalesceInPlace(sweep.DenseRects(points, s.cfg.Area, q.Rho, q.L))
 	ph.End()
 	res.CPU = sw.Elapsed()
 	res.Wall = res.CPU
@@ -470,8 +572,10 @@ func (s *Server) IntervalTraced(q Query, until motion.Tick, m Method, sp *teleme
 	isp.SetAttr("method", m.String())
 	isp.SetAttrInt("snapshots", int64(n))
 	ioBefore := s.pool.Stats()
-	subs := make([]*Result, n)
-	errs := make([]error, n)
+	sc := intervalScratches.Get().(*intervalScratch)
+	subs := growResults(sc.subs, n)
+	errs := growErrors(sc.errs, n)
+	sc.subs, sc.errs = subs, errs
 	slots := isp.Fork("snapshot", n)
 	s.par.ForEachSpan(n, slots, func(i int, ssp *telemetry.Span) {
 		sub := q
@@ -482,12 +586,15 @@ func (s *Server) IntervalTraced(q Query, until motion.Tick, m Method, sp *teleme
 	for _, err := range errs {
 		if err != nil {
 			isp.End()
+			releaseIntervalScratch(sc)
 			return nil, err
 		}
 	}
 	out := &Result{Method: m, Cached: true}
 	var region geom.Region
 	for _, r := range subs {
+		// The sub-result regions are copied by value into the fresh union
+		// buffer, so coalescing it in place cannot touch a cached answer.
 		region = append(region, r.Region...)
 		out.CPU += r.CPU
 		out.Cached = out.Cached && r.Cached
@@ -498,13 +605,14 @@ func (s *Server) IntervalTraced(q Query, until motion.Tick, m Method, sp *teleme
 		out.ObjectsRetrieved += r.ObjectsRetrieved
 		out.Phases = telemetry.MergeSpans(out.Phases, r.Phases)
 	}
+	releaseIntervalScratch(sc)
 	out.IOs = s.pool.Stats().Sub(ioBefore).RandomIOs()
 	out.IOTime = time.Duration(out.IOs) * s.cfg.IOCharge
 	// Snapshots of adjacent timestamps overlap heavily; coalescing the
 	// union keeps the answer free of redundant rectangles, exactly like the
 	// per-snapshot answers.
 	usp := isp.Child("union")
-	out.Region = geom.Coalesce(region)
+	out.Region = geom.CoalesceInPlace(region)
 	usp.End()
 	isp.SetAttrInt("ios", out.IOs)
 	isp.End()
@@ -517,6 +625,8 @@ func (s *Server) IntervalTraced(q Query, until motion.Tick, m Method, sp *teleme
 
 // FilterMarks exposes the raw filter classification for a query — used by
 // the experiment harness and example programs to visualize the filter step.
+// The caller owns the result; releasing it (dh.FilterResult.Release) when
+// done is optional but lets the filter pool reuse its buffers.
 func (s *Server) FilterMarks(q Query) (*dh.FilterResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

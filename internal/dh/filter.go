@@ -3,6 +3,7 @@ package dh
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pdr/internal/geom"
 	"pdr/internal/motion"
@@ -37,20 +38,55 @@ func (m Mark) String() string {
 // CellIndex addresses a grid cell.
 type CellIndex struct{ I, J int }
 
-// FilterResult is the outcome of the filtering step.
+// FilterResult is the outcome of the filtering step. Results come from a
+// pool: a caller that is done with one (and with every slice derived from
+// it) may Release it so steady-state filtering reuses the mark buffer
+// instead of allocating a fresh one per query.
 type FilterResult struct {
 	h     *Histogram
 	marks []Mark
+	// Mark census, filled during classification: how many cells carry each
+	// mark. Candidates/region builders preallocate from these.
+	nAcc, nRej, nCand int
 	// EtaL and EtaH are the conservative/expansive neighborhood radii used.
 	EtaL, EtaH int
+}
+
+// filterResults pools FilterResult shells and their mark buffers; see
+// FilterResult.Release.
+var filterResults = sync.Pool{New: func() any { return new(FilterResult) }}
+
+// filterScratch holds filterCounts' prefix-sum grid and FilterMerged's
+// summation grid — per-call working memory that never escapes a filter call.
+type filterScratch struct {
+	pre    []int64
+	merged []int32
+}
+
+var filterScratches = sync.Pool{New: func() any { return new(filterScratch) }}
+
+// Release returns the result's buffers to the filter pool. Callers that own
+// a FilterResult and are done with it (and every slice derived from it)
+// should release it so steady-state filtering allocates nothing; releasing
+// is optional — an unreleased result is simply collected. Release is
+// idempotent; the result must not be used afterwards.
+func (r *FilterResult) Release() {
+	if r.h == nil {
+		return
+	}
+	marks := r.marks
+	*r = FilterResult{marks: marks[:0]}
+	filterResults.Put(r)
 }
 
 // Mark returns the classification of cell (i, j).
 func (r *FilterResult) Mark(i, j int) Mark { return r.marks[i*r.h.cfg.M+j] }
 
-// Candidates returns the candidate cells in row-major order.
+// Candidates returns the candidate cells in row-major order. The returned
+// slice is freshly allocated at its exact size (from the mark census) and is
+// owned by the caller — it stays valid after Release.
 func (r *FilterResult) Candidates() []CellIndex {
-	out := make([]CellIndex, 0, len(r.marks))
+	out := make([]CellIndex, 0, r.nCand)
 	m := r.h.cfg.M
 	for idx, mk := range r.marks {
 		if mk == Candidate {
@@ -62,13 +98,13 @@ func (r *FilterResult) Candidates() []CellIndex {
 
 // AcceptedRegion returns the union of all accepted cells.
 func (r *FilterResult) AcceptedRegion() geom.Region {
-	return r.region(Accepted)
+	return r.region(Accepted, r.nAcc)
 }
 
 // OptimisticRegion returns accepted plus candidate cells — the "optimistic
 // DH" baseline answer (false negatives impossible, false positives likely).
 func (r *FilterResult) OptimisticRegion() geom.Region {
-	var g geom.Region
+	g := make(geom.Region, 0, r.nAcc+r.nCand)
 	m := r.h.cfg.M
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
@@ -83,11 +119,11 @@ func (r *FilterResult) OptimisticRegion() geom.Region {
 // PessimisticRegion returns accepted cells only — the "pessimistic DH"
 // baseline answer (false positives impossible, false negatives likely).
 func (r *FilterResult) PessimisticRegion() geom.Region {
-	return r.region(Accepted)
+	return r.region(Accepted, r.nAcc)
 }
 
-func (r *FilterResult) region(want Mark) geom.Region {
-	var g geom.Region
+func (r *FilterResult) region(want Mark, n int) geom.Region {
+	g := make(geom.Region, 0, n)
 	m := r.h.cfg.M
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
@@ -99,19 +135,10 @@ func (r *FilterResult) region(want Mark) geom.Region {
 	return g
 }
 
-// CountMarks returns how many cells carry each mark.
+// CountMarks returns how many cells carry each mark (from the census taken
+// during classification).
 func (r *FilterResult) CountMarks() (accepted, rejected, candidates int) {
-	for _, mk := range r.marks {
-		switch mk {
-		case Accepted:
-			accepted++
-		case Rejected:
-			rejected++
-		default:
-			candidates++
-		}
-	}
-	return
+	return r.nAcc, r.nRej, r.nCand
 }
 
 // Filter runs the paper's Algorithm 1 (FilterQuery) at timestamp qt for a
@@ -150,13 +177,20 @@ func FilterMerged(hs []*Histogram, qt motion.Tick, rho, l float64) (*FilterResul
 	if len(hs) == 1 {
 		return h.filterCounts(h.slot(qt), rho, l), nil
 	}
-	merged := make([]int32, h.cfg.M*h.cfg.M)
+	sc := filterScratches.Get().(*filterScratch)
+	sc.merged = growI32(sc.merged, h.cfg.M*h.cfg.M)
+	merged := sc.merged
+	for i := range merged {
+		merged[i] = 0
+	}
 	for _, o := range hs {
 		for i, c := range o.slot(qt) {
 			merged[i] += c
 		}
 	}
-	return h.filterCounts(merged, rho, l), nil
+	res := h.filterCounts(merged, rho, l)
+	filterScratches.Put(sc)
+	return res, nil
 }
 
 func (h *Histogram) validateFilter(qt motion.Tick, rho, l float64) error {
@@ -178,7 +212,18 @@ func (h *Histogram) validateFilter(qt motion.Tick, rho, l float64) error {
 func (h *Histogram) filterCounts(counts []int32, rho, l float64) *FilterResult {
 	m := h.cfg.M
 	// 2-D prefix sums: pre[(i+1)*(m+1)+(j+1)] = sum of counts[0..i][0..j].
-	pre := make([]int64, (m+1)*(m+1))
+	// The buffer is pooled; the fill loop writes rows 1..m x columns 1..m,
+	// so only row 0 and column 0 (read by rectSum as the empty-prefix base)
+	// need explicit zeroing on reuse.
+	sc := filterScratches.Get().(*filterScratch)
+	sc.pre = growI64(sc.pre, (m+1)*(m+1))
+	pre := sc.pre
+	for j := 0; j <= m; j++ {
+		pre[j] = 0
+	}
+	for i := 1; i <= m; i++ {
+		pre[i*(m+1)] = 0
+	}
 	for i := 0; i < m; i++ {
 		var row int64
 		for j := 0; j < m; j++ {
@@ -219,7 +264,16 @@ func (h *Histogram) filterCounts(counts []int32, rho, l float64) *FilterResult {
 	etaHy := int(math.Ceil(l / (2 * h.lcY) * (1 - 1e-12)))
 	threshold := rho * l * l
 
-	res := &FilterResult{h: h, marks: make([]Mark, m*m), EtaL: etaLx, EtaH: etaHx}
+	res := filterResults.Get().(*FilterResult)
+	if cap(res.marks) < m*m {
+		res.marks = make([]Mark, m*m)
+	}
+	// The classification switch writes every cell, so a reused mark buffer
+	// needs no clearing.
+	res.marks = res.marks[:m*m]
+	res.h = h
+	res.nAcc, res.nRej, res.nCand = 0, 0, 0
+	res.EtaL, res.EtaH = etaLx, etaHx
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
 			nc := rectSum(i-etaLx+1, j-etaLy+1, i+etaLx-1, j+etaLy-1)
@@ -227,12 +281,33 @@ func (h *Histogram) filterCounts(counts []int32, rho, l float64) *FilterResult {
 			switch {
 			case float64(nc) >= threshold:
 				res.marks[i*m+j] = Accepted
+				res.nAcc++
 			case float64(ne) < threshold:
 				res.marks[i*m+j] = Rejected
+				res.nRej++
 			default:
 				res.marks[i*m+j] = Candidate
+				res.nCand++
 			}
 		}
 	}
+	filterScratches.Put(sc)
 	return res
+}
+
+// growI64 returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// growI32 is growI64 for int32 scratch.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
 }

@@ -2,6 +2,7 @@ package dh
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"pdr/internal/geom"
@@ -180,5 +181,86 @@ func TestMarkString(t *testing.T) {
 	if Accepted.String() != "accepted" || Rejected.String() != "rejected" ||
 		Candidate.String() != "candidate" || Mark(9).String() != "unknown" {
 		t.Error("Mark.String mismatch")
+	}
+}
+
+// TestFilterAllocationFree pins the filter kernel at zero steady-state
+// allocations: once the result and scratch pools are warm, a
+// Filter-then-Release cycle must not touch the heap (the zero-allocation
+// contract documented in docs/PERFORMANCE.md).
+func TestFilterAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	h, err := New(Config{Area: geom.NewRect(0, 0, 100, 100), M: 20, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Advance(0)
+	for i := 0; i < 500; i++ {
+		h.Insert(motion.State{
+			ID:  motion.ObjectID(i + 1),
+			Pos: geom.Point{X: float64(i%100) + 0.5, Y: float64(i/5%100) + 0.5},
+			Ref: 0,
+		})
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		fr, err := h.Filter(3, 0.05, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}); n != 0 {
+		t.Errorf("Filter+Release allocates %v per run, want 0", n)
+	}
+}
+
+// TestFilterReleaseReuse checks pooled results stay correct: a released
+// result's buffers may be reused by the next filter call, and the census,
+// marks, and derived regions of the fresh result match a from-scratch
+// evaluation.
+func TestFilterReleaseReuse(t *testing.T) {
+	h, err := New(Config{Area: geom.NewRect(0, 0, 100, 100), M: 20, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Advance(0)
+	for i := 0; i < 800; i++ {
+		h.Insert(motion.State{
+			ID:  motion.ObjectID(i + 1),
+			Pos: geom.Point{X: float64(i % 97), Y: float64((i * 7) % 89)},
+			Ref: 0,
+		})
+	}
+	// Reference evaluation, never released.
+	ref, err := h.Filter(2, 0.08, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAcc, refRej, refCand := ref.CountMarks()
+	refCands := ref.Candidates()
+	refRegion := ref.AcceptedRegion()
+	// Churn the pool with differently-parameterized filters.
+	for i := 0; i < 10; i++ {
+		fr, err := h.Filter(motion.Tick(i%5), 0.01*float64(i+1), 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	got, err := h.Filter(2, 0.08, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Release()
+	acc, rej, cand := got.CountMarks()
+	if acc != refAcc || rej != refRej || cand != refCand {
+		t.Fatalf("census after pool churn = (%d,%d,%d), want (%d,%d,%d)", acc, rej, cand, refAcc, refRej, refCand)
+	}
+	if gc := got.Candidates(); !slices.Equal(gc, refCands) {
+		t.Fatalf("candidates after pool churn differ: got %v want %v", gc, refCands)
+	}
+	if gr := got.AcceptedRegion(); !slices.Equal(gr, refRegion) {
+		t.Fatalf("accepted region after pool churn differs: got %v want %v", gr, refRegion)
 	}
 }

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pdr/internal/cheb"
+	"pdr/internal/core"
+	"pdr/internal/dh"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+	"pdr/internal/sweep"
+)
+
+// HotpathPoint is one kernel measurement: the best-of-Trials wall time per
+// operation plus the allocator counters of that best trial.
+type HotpathPoint struct {
+	// Kernel names the measured code path (cheb-eval, dh-filter, ...).
+	Kernel string `json:"kernel"`
+	// WallNanos is ns/op of the best trial.
+	WallNanos int64 `json:"wallNanos"`
+	// BytesPerOp and AllocsPerOp are B/op and allocs/op of the same trial.
+	BytesPerOp  int64 `json:"bytesPerOp"`
+	AllocsPerOp int64 `json:"allocsPerOp"`
+}
+
+// HotpathBench is one recorded single-core hot-path baseline: ns/op, B/op,
+// and allocs/op for the query kernels the paper's cost model is made of
+// (Chebyshev evaluation, DH filtering, sweep refinement) plus the end-to-end
+// snapshot/interval paths they compose into. Before, when present, is the
+// same kernel list measured prior to the zero-allocation rewrites, so the
+// file carries its own delta.
+type HotpathBench struct {
+	Kind string `json:"kind"`
+	// NumCPU and GOMAXPROCS describe the host the baseline was taken on.
+	NumCPU     int `json:"numCPU"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workload facts.
+	N      int     `json:"n"`
+	Seed   int64   `json:"seed"`
+	L      float64 `json:"l"`
+	Varrho float64 `json:"varrho"`
+	// Window is the interval width (ticks) of the interval-fr kernel.
+	Window int `json:"window"`
+	// Trials is how many times each kernel ran; each point keeps the best.
+	Trials int            `json:"trials"`
+	Points []HotpathPoint `json:"points"`
+	// Before is carried forward from a previously recorded file (see
+	// MergeBefore): the pre-optimization numbers this run is measured
+	// against.
+	Before []HotpathPoint `json:"before,omitempty"`
+}
+
+// HotpathBenchParams configures a hot-path kernel run.
+type HotpathBenchParams struct {
+	// Trials per kernel; the best wall time is kept to damp scheduler noise.
+	Trials int
+	// Window is the interval-fr query width in ticks.
+	Window int
+}
+
+// DefaultHotpathBenchParams matches the recorded BENCH_hotpath.json baseline.
+func DefaultHotpathBenchParams() HotpathBenchParams {
+	return HotpathBenchParams{Trials: 3, Window: 8}
+}
+
+// HotpathBench measures the query kernels in steady state. The end-to-end
+// paths run on a single worker with the result cache disabled, so every
+// iteration pays the full evaluation — the numbers are per-core evaluation
+// cost, not cache or fan-out behaviour (BENCH_cache.json and
+// BENCH_interval.json record those).
+func (r *Runner) HotpathBench(bp HotpathBenchParams) (*HotpathBench, error) {
+	if bp.Trials <= 0 {
+		bp.Trials = 1
+	}
+	const varrho = 3
+	l := r.P.Ls[len(r.P.Ls)-1]
+	out := &HotpathBench{
+		Kind: "hotpath", NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N: r.P.N, Seed: r.P.Seed, L: l, Varrho: varrho,
+		Window: bp.Window, Trials: bp.Trials,
+	}
+
+	// --- Isolated kernels (fixtures mirror the engine's defaults). ---
+
+	// Chebyshev series of the production degree, populated by Lemma-4 box
+	// deltas so the coefficients are dense and realistic.
+	series, err := cheb.NewSeries2D(5)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.P.Seed))
+	for i := 0; i < 256; i++ {
+		x := rng.Float64()*1.9 - 0.95
+		y := rng.Float64()*1.9 - 0.95
+		series.AddBoxDelta(x, y, x+0.04, y+0.04, 1)
+	}
+	out.add("cheb-eval", bp.Trials, func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += series.Eval(0.3, -0.7)
+		}
+		sinkF64 = sink
+	})
+	out.add("cheb-bounds", bp.Trials, func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			lo, hi := series.Bounds(-0.5, -0.25, 0.5, 0.25)
+			sink += lo + hi
+		}
+		sinkF64 = sink
+	})
+	out.add("cheb-addbox", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			series.AddBoxDelta(-0.2, -0.2, 0.2, 0.2, 1)
+			series.AddBoxDelta(-0.2, -0.2, 0.2, 0.2, -1)
+		}
+	})
+
+	// DH filter over a steady-state histogram of the workload's density.
+	hist, err := dh.New(dh.Config{Area: geom.NewRect(0, 0, 1000, 1000), M: 100, Horizon: 90})
+	if err != nil {
+		return nil, err
+	}
+	hist.Advance(0)
+	for i := 0; i < r.P.N; i++ {
+		hist.Insert(motion.State{
+			ID:  motion.ObjectID(i + 1),
+			Pos: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Ref: 0,
+		})
+	}
+	dhRho := RelRho(r.P.N, varrho, geom.NewRect(0, 0, 1000, 1000))
+	out.add("dh-filter", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fr, err := hist.Filter(motion.Tick(i%91), dhRho, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fr.Release()
+		}
+	})
+
+	// Sweep refinement of one candidate window with a realistic point load.
+	cell := geom.NewRect(0, 0, 100, 100)
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64()*110 - 5, Y: rng.Float64()*110 - 5}
+	}
+	out.add("sweep-refine", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep.DenseRects(pts, cell, 8.0/100.0, 10)
+		}
+	})
+
+	// --- End-to-end paths: one worker, no result cache. ---
+	cfg := ServerConfig(r.P)
+	cfg.Workers = 1
+	cfg.CacheBytes = 0
+	env, err := Build(r.P, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rho := RelRho(env.S.NumObjects(), varrho, env.S.Config().Area)
+	q := core.Query{Rho: rho, L: l, At: env.S.Now()}
+	out.add("snapshot-fr", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.S.Snapshot(q, core.FR); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.add("snapshot-pa", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.S.Snapshot(q, core.PA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.add("interval-fr", bp.Trials, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.S.Interval(q, q.At+motion.Tick(bp.Window), core.FR); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out, nil
+}
+
+// sinkF64 defeats dead-code elimination of pure kernels.
+var sinkF64 float64
+
+// add runs one kernel Trials times via testing.Benchmark and records the
+// fastest trial's per-op counters.
+func (b *HotpathBench) add(kernel string, trials int, fn func(b *testing.B)) {
+	var best testing.BenchmarkResult
+	for t := 0; t < trials; t++ {
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			fn(tb)
+		})
+		if t == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	b.Points = append(b.Points, HotpathPoint{
+		Kernel:      kernel,
+		WallNanos:   best.NsPerOp(),
+		BytesPerOp:  best.AllocedBytesPerOp(),
+		AllocsPerOp: best.AllocsPerOp(),
+	})
+}
+
+// MergeBefore adopts the pre-optimization numbers from a previously recorded
+// baseline: prior's own Before is preserved when present (the original
+// pre-rewrite measurements survive re-recording), otherwise prior's Points
+// become this run's Before.
+func (b *HotpathBench) MergeBefore(prior *HotpathBench) {
+	if prior == nil {
+		return
+	}
+	if len(prior.Before) > 0 {
+		b.Before = prior.Before
+	} else {
+		b.Before = prior.Points
+	}
+}
+
+// ReadHotpathJSON parses a previously recorded BENCH_hotpath.json.
+func ReadHotpathJSON(rd io.Reader) (*HotpathBench, error) {
+	var b HotpathBench
+	if err := json.NewDecoder(rd).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// WriteJSON records the baseline as indented JSON (the BENCH_*.json files
+// checked into the repository root).
+func (b *HotpathBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// PrintHotpath renders a kernel run as a table, with the before/after delta
+// when the baseline carries one.
+func PrintHotpath(w io.Writer, b *HotpathBench) error {
+	r := newReport(w)
+	r.linef("hot-path kernels (n=%d, l=%g, varrho=%g, window=%d) on NumCPU=%d GOMAXPROCS=%d\n",
+		b.N, b.L, b.Varrho, b.Window, b.NumCPU, b.GOMAXPROCS)
+	before := make(map[string]HotpathPoint, len(b.Before))
+	for _, p := range b.Before {
+		before[p.Kernel] = p
+	}
+	if len(before) > 0 {
+		r.text("kernel\tns/op\tB/op\tallocs/op\tvs before")
+	} else {
+		r.text("kernel\tns/op\tB/op\tallocs/op")
+	}
+	for _, p := range b.Points {
+		if prev, ok := before[p.Kernel]; ok && p.WallNanos > 0 {
+			r.linef("%s\t%d\t%d\t%d\t%.2fx (%d allocs)\n",
+				p.Kernel, p.WallNanos, p.BytesPerOp, p.AllocsPerOp,
+				float64(prev.WallNanos)/float64(p.WallNanos), prev.AllocsPerOp)
+		} else {
+			r.linef("%s\t%d\t%d\t%d\n", p.Kernel, p.WallNanos, p.BytesPerOp, p.AllocsPerOp)
+		}
+	}
+	return r.flush()
+}

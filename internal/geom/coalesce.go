@@ -25,6 +25,30 @@ func Coalesce(g Region) Region {
 			work = append(work, r)
 		}
 	}
+	return coalesceWork(work)
+}
+
+// CoalesceInPlace is Coalesce for a caller that owns g's backing array: the
+// working set is compacted, sorted, and merged inside g itself, so steady-
+// state coalescing allocates nothing. The input is consumed — its contents
+// are unspecified afterwards and the result aliases it. Regions built
+// per-call (the FR refinement union, the PA branch-and-bound output, the
+// interval merge) qualify; shared or cached regions must use Coalesce.
+func CoalesceInPlace(g Region) Region {
+	if len(g) < 2 {
+		return g
+	}
+	work := g[:0]
+	for _, r := range g {
+		if !r.IsEmpty() {
+			work = append(work, r)
+		}
+	}
+	return coalesceWork(work)
+}
+
+// coalesceWork runs the two merge passes over the (owned) working slice.
+func coalesceWork(work Region) Region {
 	if len(work) < 2 {
 		return work
 	}

@@ -3,6 +3,7 @@ package geom
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -143,5 +144,53 @@ func TestCoalesceOverlappingStillCovers(t *testing.T) {
 		if g.Contains(p) != c.Contains(p) {
 			t.Fatalf("coverage changed at %v", p)
 		}
+	}
+}
+
+// TestCoalesceInPlaceMatchesCoalesce checks the allocation-free variant is
+// bit-identical to Coalesce and reuses the input's backing array.
+func TestCoalesceInPlaceMatchesCoalesce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		g := make(Region, 0, n)
+		for i := 0; i < n; i++ {
+			x := float64(rng.Intn(10))
+			y := float64(rng.Intn(10))
+			w := float64(rng.Intn(3)) // empties included on purpose
+			h := float64(rng.Intn(3))
+			g = append(g, NewRect(x, y, x+w, y+h))
+		}
+		clone := append(Region(nil), g...)
+		want := Coalesce(clone)
+		got := CoalesceInPlace(g)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: CoalesceInPlace = %v, want %v", trial, got, want)
+		}
+		if len(g) > 0 && len(got) > 0 && &got[0] != &g[0] {
+			t.Fatalf("trial %d: CoalesceInPlace reallocated instead of reusing the input", trial)
+		}
+	}
+}
+
+// TestCoalesceInPlaceAllocationFree pins the in-place variant at zero
+// allocations.
+func TestCoalesceInPlaceAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	g := make(Region, 0, 64)
+	fill := func() {
+		g = g[:0]
+		for i := 0; i < 16; i++ {
+			x := float64(i % 4)
+			g = append(g, NewRect(x, float64(i/4), x+1, float64(i/4)+1))
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		fill()
+		g = CoalesceInPlace(g)
+	}); n != 0 {
+		t.Errorf("CoalesceInPlace allocates %v per run, want 0", n)
 	}
 }

@@ -11,17 +11,19 @@ import (
 // AnalyzerHotAlloc reports per-element allocation patterns in functions
 // reachable from a pdr:hot root: growing a bare-declared slice with append
 // inside a loop (no preallocation), re-allocating a map or slice on every
-// iteration, building strings by concatenation in a loop, and fmt.Sprintf
-// calls that a strconv function replaces. Where the element bound is
-// evident (a range loop over a measurable collection), the append finding
-// carries an auto-fix that preallocates with make([]T, 0, n).
+// iteration, building strings by concatenation in a loop, fmt.Sprintf
+// calls that a strconv function replaces, and unconditional per-call makes
+// in hot methods whose size derives only from receiver fields. Where the
+// element bound is evident (a range loop over a measurable collection),
+// the append finding carries an auto-fix that preallocates with
+// make([]T, 0, n).
 //
 // Spread appends (append(x, ys...)) are deliberately not flagged: bulk
 // concatenation amortizes growth by doubling and is the idiomatic way to
 // merge slices.
 var AnalyzerHotAlloc = &Analyzer{
 	Name:          "hotalloc",
-	Doc:           "reports un-preallocated appends, per-iteration allocations, string concatenation, and Sprintf-where-strconv-suffices in hot-path loops",
+	Doc:           "reports un-preallocated appends, per-iteration and per-call allocations, string concatenation, and Sprintf-where-strconv-suffices on hot paths",
 	Run:           runHotAlloc,
 	UsesCallGraph: true,
 }
@@ -50,6 +52,8 @@ func runHotAlloc(p *Pass) {
 					checkHotAppend(p, n, loops, decls, fixed)
 					checkPerIterAlloc(p, n, loops, stack)
 					checkStringConcat(p, n)
+				} else {
+					checkPerCallMake(p, fd, n, stack)
 				}
 			case *ast.CallExpr:
 				checkSprintf(p, n)
@@ -231,6 +235,106 @@ func checkPerIterAlloc(p *Pass, as *ast.AssignStmt, loops []ast.Stmt, stack []as
 		return
 	}
 	p.Reportf(as.Pos(), "%s re-allocated on every iteration of a hot loop; hoist the allocation and clear/reuse it instead", kind)
+}
+
+// checkPerCallMake flags an unguarded `make` at the top level of a hot
+// method whose size expressions derive only from receiver fields: the size
+// is fixed for the life of the receiver, so the buffer is allocated afresh
+// on every call where receiver-owned or pooled scratch would be reused.
+// Two shapes are deliberately exempt: a length-literal-0 preallocation
+// (`make([]T, 0, r.n)`) builds a caller-owned result that cannot be reused,
+// and any make guarded by a conditional (`if cap(buf) < n { ... }`) is the
+// amortized grow-on-demand idiom this rule recommends.
+func checkPerCallMake(p *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, stack []ast.Node) {
+	recv := receiverVar(p, fd)
+	if recv == nil {
+		return
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if _, ok := as.Lhs[0].(*ast.Ident); !ok {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "make" {
+		return
+	}
+	if _, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return
+	}
+	var kind string
+	switch types.Unalias(p.TypeOf(call)).Underlying().(type) {
+	case *types.Slice:
+		kind = "slice"
+	case *types.Map:
+		kind = "map"
+	default:
+		return
+	}
+	// make([]T, 0, cap) preallocates a result the caller will own; exempt.
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+		return
+	}
+	if !receiverDerived(p, call.Args[1:], recv) {
+		return
+	}
+	if !unconditionalInFunc(stack) {
+		return
+	}
+	p.Reportf(as.Pos(), "%s sized by receiver fields is allocated on every call of a hot function; hoist it into reusable scratch (receiver-owned buffer or sync.Pool)", kind)
+}
+
+// receiverDerived reports whether the expressions mention the receiver and
+// reference no other variable (fields are fine — they are reached through
+// the receiver): their values are fixed by the receiver alone, so they
+// cannot change between calls on the same receiver.
+func receiverDerived(p *Pass, exprs []ast.Expr, recv *types.Var) bool {
+	usesRecv, usesOther := false, false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := p.Info.Uses[id].(*types.Var); ok {
+				switch {
+				case v == recv:
+					usesRecv = true
+				case !v.IsField():
+					usesOther = true
+				}
+			}
+			return !usesOther
+		})
+	}
+	return usesRecv && !usesOther
+}
+
+// unconditionalInFunc reports whether every ancestor on the path from the
+// function body to the node is a plain block — the statement runs on every
+// call, with no guard or loop between it and function entry.
+func unconditionalInFunc(stack []ast.Node) bool {
+	for _, a := range stack {
+		if _, ok := a.(*ast.BlockStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// receiverVar resolves fd's named receiver variable, or nil when fd is a
+// plain function or its receiver is unnamed.
+func receiverVar(p *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	v, _ := p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
 }
 
 // allocKind recognizes make(map/slice) and map/slice composite literals.

@@ -159,6 +159,84 @@ func Hot(id int, name string) string {
 	wantFindings(t, diags, "hotalloc", 2)
 }
 
+func TestHotAllocPerCallReceiverSizedMake(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+type series struct {
+	k    int
+	coef []float64
+}
+
+// pdr:hot
+func (s *series) Eval(x float64) float64 {
+	tx := make([]float64, s.k+1)
+	tx[0] = 1
+	total := 0.0
+	for i, c := range s.coef {
+		total += c * x * tx[i%(s.k+1)]
+	}
+	return total
+}
+
+func (s *series) ColdEval(x float64) []float64 {
+	tx := make([]float64, s.k+1)
+	tx[0] = x
+	return tx
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "hotalloc", 1)
+	if !strings.Contains(diags[0].Message, "sized by receiver fields") {
+		t.Errorf("message = %q, want receiver-sized per-call make wording", diags[0].Message)
+	}
+}
+
+func TestHotAllocPerCallMakeExemptions(t *testing.T) {
+	diags := analyze(t, "pdr/internal/x", `package x
+
+type series struct {
+	k    int
+	coef []float64
+}
+
+// Guarded grow-on-demand is the recommended idiom, not a finding.
+// pdr:hot
+func (s *series) EvalGrown(buf []float64) float64 {
+	if cap(buf) < s.k+1 {
+		buf = make([]float64, s.k+1)
+	}
+	return buf[:s.k+1][0]
+}
+
+// Length-0 preallocation builds a caller-owned result; exempt.
+// pdr:hot
+func (s *series) Coefs() []float64 {
+	out := make([]float64, 0, s.k+1)
+	return append(out, s.coef...)
+}
+
+// A param-sized make is not fixed by the receiver; not this rule's shape.
+// pdr:hot
+func (s *series) Sample(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.coef[i%len(s.coef)] * float64(s.k)
+	}
+	return out
+}
+
+// Receiver-less helpers are out of scope even with an unconditional make.
+// pdr:hot
+func Scaled(points []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = points[i%len(points)] * 2
+	}
+	return out
+}
+`, AnalyzerHotAlloc)
+	wantFindings(t, diags, "", 0)
+}
+
 func TestHotDeferInLoop(t *testing.T) {
 	diags := analyze(t, "pdr/internal/x", `package x
 

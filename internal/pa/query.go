@@ -34,7 +34,8 @@ func (s *Surface) DenseRegion(qt motion.Tick, rho float64) (geom.Region, error) 
 			s.branch(series, cell, -1, -1, 1, 1, rho, floor, &out)
 		}
 	}
-	return geom.Coalesce(out), nil
+	// out is built fresh per call, so the union coalesces in place.
+	return geom.CoalesceInPlace(out), nil
 }
 
 // branch recursively classifies the normalized box [x1,x2]x[y1,y2] of one
@@ -115,7 +116,7 @@ func (s *Surface) DenseRegionIn(qt motion.Tick, rho float64, viewport geom.Rect)
 				rho, floor, &out)
 		}
 	}
-	return geom.Coalesce(out), nil
+	return geom.CoalesceInPlace(out), nil
 }
 
 // DenseRegionGrid evaluates the density at the centers of an MD x MD grid
@@ -144,5 +145,5 @@ func (s *Surface) DenseRegionGrid(qt motion.Tick, rho float64) (geom.Region, err
 			}
 		}
 	}
-	return geom.Coalesce(out), nil
+	return geom.CoalesceInPlace(out), nil
 }

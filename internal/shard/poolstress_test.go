@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pdr/internal/core"
+	"pdr/internal/geom"
+	"pdr/internal/motion"
+)
+
+// TestPoolReuseBitIdentical is the sharded twin of the core pool-churn
+// stress: scatter/gather slices, per-window point buffers, dedup sets, and
+// the per-shard filter/sweep pools are all recycled across concurrent
+// queries, and every answer must stay bit-identical to the single-threaded
+// reference. Run under -race via check.sh.
+func TestPoolReuseBitIdentical(t *testing.T) {
+	eng, err := New(testConfig(2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := makeStream()
+	st.replay(t, eng)
+	now := eng.Now()
+
+	type job struct {
+		q      core.Query
+		method core.Method
+		until  motion.Tick // interval query when > q.At
+		past   bool
+	}
+	var jobs []job
+	for _, m := range allMethods {
+		for dt := 0; dt < 2; dt++ {
+			jobs = append(jobs, job{q: core.Query{Rho: 0.0003, L: 100, At: now + motion.Tick(dt)}, method: m})
+		}
+	}
+	jobs = append(jobs,
+		job{q: core.Query{Rho: 0.0003, L: 100, At: now}, method: core.FR, until: now + 3},
+		job{q: core.Query{Rho: 0.0003, L: 100, At: 4}, past: true},
+	)
+
+	run := func(j job) (*core.Result, error) {
+		switch {
+		case j.past:
+			return eng.PastSnapshot(j.q)
+		case j.until > j.q.At:
+			return eng.Interval(j.q, j.until, j.method)
+		default:
+			return eng.Snapshot(j.q, j.method)
+		}
+	}
+	want := make([]geom.Region, len(jobs))
+	for i, j := range jobs {
+		res, err := run(j)
+		if err != nil {
+			t.Fatalf("reference job %d: %v", i, err)
+		}
+		want[i] = res.Region
+	}
+
+	const goroutines = 6
+	const rounds = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for off := range jobs {
+					i := (off + g) % len(jobs) // stagger so pools cross-pollinate
+					res, err := run(jobs[i])
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d job %d: %w", g, i, err)
+						return
+					}
+					if !reflect.DeepEqual(res.Region, want[i]) {
+						errc <- fmt.Errorf("goroutine %d job %d (%v at t=%d): region diverged from single-threaded reference",
+							g, i, jobs[i].method, jobs[i].q.At)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

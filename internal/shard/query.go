@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"time"
 
 	"pdr/internal/cache"
@@ -15,6 +16,96 @@ import (
 	"pdr/internal/sweep"
 	"pdr/internal/telemetry"
 )
+
+// frScratch holds one FR snapshot's scatter/gather slices (per-window region
+// and retrieval-count slots), pooled across queries like core.Server's;
+// region slots are nil-ed during the merge so the pool never pins a query's
+// answer.
+type frScratch struct {
+	parts     []geom.Region
+	retrieved []int
+}
+
+var frScratches = sync.Pool{New: func() any { return new(frScratch) }}
+
+// intervalScratch is frScratch for the interval fan-out: per-timestamp
+// sub-result and error slots.
+type intervalScratch struct {
+	subs []*core.Result
+	errs []error
+}
+
+var intervalScratches = sync.Pool{New: func() any { return new(intervalScratch) }}
+
+// pointBufs pools the per-window point-gather buffers of the refinement
+// workers (sweep.DenseRects reads the points and retains nothing).
+var pointBufs = sync.Pool{New: func() any { return new([]geom.Point) }}
+
+// seenSets pools the replica-dedup sets of multi-shard windows; sets are
+// cleared before reuse. A map is pointer-shaped, so pooling it directly
+// costs no boxing allocation.
+var seenSets = sync.Pool{New: func() any { return make(map[motion.ObjectID]struct{}) }}
+
+// growRegions returns buf resized to n nil slots, reallocating only when the
+// capacity is insufficient.
+func growRegions(buf []geom.Region, n int) []geom.Region {
+	if cap(buf) < n {
+		return make([]geom.Region, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// growInts is growRegions for int slots.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growResults is growRegions for sub-result slots.
+func growResults(buf []*core.Result, n int) []*core.Result {
+	if cap(buf) < n {
+		return make([]*core.Result, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// growErrors is growRegions for error slots.
+func growErrors(buf []error, n int) []error {
+	if cap(buf) < n {
+		return make([]error, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf
+}
+
+// releaseIntervalScratch clears the slot pointers (so the pool never pins
+// sub-results or errors) and returns the scratch.
+func releaseIntervalScratch(sc *intervalScratch) {
+	for i := range sc.subs {
+		sc.subs[i] = nil
+	}
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	intervalScratches.Put(sc)
+}
 
 // rlockAll read-locks every shard (ascending, matching the writer order) so
 // a query evaluates against one consistent cut of the stream: no mutation
@@ -192,12 +283,14 @@ func (e *Engine) snapshotFRRLocked(q core.Query, res *core.Result, sp *telemetry
 	res.Accepted, res.Rejected, res.Candidates = fr.CountMarks()
 	region := fr.AcceptedRegion()
 
-	var windows geom.Region
-	for _, c := range fr.Candidates() {
+	cands := fr.Candidates()
+	fr.Release()
+	windows := make(geom.Region, 0, len(cands))
+	for _, c := range cands {
 		windows.Add(e.hists[0].CellRect(c.I, c.J))
 	}
 	if e.cfg.MergeCandidates {
-		windows = geom.Coalesce(windows)
+		windows = geom.CoalesceInPlace(windows)
 	}
 	ph.SetAttrInt("accepted", int64(res.Accepted))
 	ph.SetAttrInt("rejected", int64(res.Rejected))
@@ -209,8 +302,10 @@ func (e *Engine) snapshotFRRLocked(q core.Query, res *core.Result, sp *telemetry
 		e.met.ObserveRefineFanout(len(windows))
 	}
 	slots := ph.Fork("window", len(windows))
-	parts := make([]geom.Region, len(windows))
-	retrieved := make([]int, len(windows))
+	sc := frScratches.Get().(*frScratch)
+	sc.parts = growRegions(sc.parts, len(windows))
+	sc.retrieved = growInts(sc.retrieved, len(windows))
+	parts, retrieved := sc.parts, sc.retrieved
 	e.par.ForEachSpan(len(windows), slots, func(wi int, wsp *telemetry.Span) {
 		cell := windows[wi]
 		grown := cell.Grow(q.L / 2)
@@ -223,10 +318,14 @@ func (e *Engine) snapshotFRRLocked(q core.Query, res *core.Result, sp *telemetry
 	for wi := range parts {
 		res.ObjectsRetrieved += retrieved[wi]
 		region = append(region, parts[wi]...)
+		parts[wi] = nil // do not pin this window's region in the pool
 	}
+	frScratches.Put(sc)
 	ph.End()
 	ph = sp.Child("union")
-	res.Region = geom.Coalesce(region)
+	// region is appended fresh above (AcceptedRegion allocates per call), so
+	// the union coalesces in place.
+	res.Region = geom.CoalesceInPlace(region)
 	ph.End()
 	if e.smet != nil {
 		e.smet.merge.Observe(msw.Elapsed().Seconds())
@@ -246,10 +345,12 @@ func (e *Engine) refineWindow(q core.Query, cell, grown geom.Rect, wsp *telemetr
 	if e.smet != nil {
 		e.smet.scatter.Observe(float64(width))
 	}
-	var points []geom.Point
+	pb := pointBufs.Get().(*[]geom.Point)
+	points := (*pb)[:0]
 	var seen map[motion.ObjectID]struct{}
 	if width > 1 {
-		seen = make(map[motion.ObjectID]struct{})
+		seen = seenSets.Get().(map[motion.ObjectID]struct{})
+		clear(seen)
 	}
 	for m := mask; m != 0; m &= m - 1 {
 		i := bits.TrailingZeros64(m)
@@ -273,7 +374,14 @@ func (e *Engine) refineWindow(q core.Query, cell, grown geom.Rect, wsp *telemetr
 		ssp.End()
 	}
 	wsp.SetAttrInt("retrieved", int64(len(points)))
-	return sweep.DenseRects(points, cell, q.Rho, q.L), len(points)
+	out := sweep.DenseRects(points, cell, q.Rho, q.L)
+	n := len(points)
+	*pb = points
+	pointBufs.Put(pb)
+	if seen != nil {
+		seenSets.Put(seen)
+	}
+	return out, n
 }
 
 func (e *Engine) snapshotPARLocked(q core.Query, res *core.Result, sp *telemetry.Span) error {
@@ -315,6 +423,7 @@ func (e *Engine) snapshotDHRLocked(q core.Query, m core.Method, res *core.Result
 	} else {
 		res.Region = fr.PessimisticRegion()
 	}
+	fr.Release()
 	ph.End()
 	return nil
 }
@@ -323,7 +432,8 @@ func (e *Engine) snapshotDHRLocked(q core.Query, m core.Method, res *core.Result
 // and disjoint, so no dedup) in shard order and sweeps the whole area.
 func (e *Engine) snapshotBFRLocked(q core.Query, res *core.Result, sp *telemetry.Span) {
 	ph := sp.Child("refine")
-	var points []geom.Point
+	pb := pointBufs.Get().(*[]geom.Point)
+	points := (*pb)[:0]
 	for _, s := range e.shards {
 		points = s.AppendLivePoints(points, q.At)
 	}
@@ -331,7 +441,9 @@ func (e *Engine) snapshotBFRLocked(q core.Query, res *core.Result, sp *telemetry
 	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
 	ph.End()
 	ph = sp.Child("union")
-	res.Region = geom.Coalesce(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
+	res.Region = geom.CoalesceInPlace(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
+	*pb = points
+	pointBufs.Put(pb)
 	ph.End()
 }
 
@@ -377,7 +489,7 @@ func (e *Engine) PastSnapshotTraced(q core.Query, sp *telemetry.Span) (*core.Res
 	ph.SetAttrInt("retrieved", int64(res.ObjectsRetrieved))
 	ph.End()
 	ph = esp.Child("union")
-	res.Region = geom.Coalesce(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
+	res.Region = geom.CoalesceInPlace(sweep.DenseRects(points, e.cfg.Area, q.Rho, q.L))
 	ph.End()
 	res.CPU = sw.Elapsed()
 	res.Wall = res.CPU
@@ -409,8 +521,10 @@ func (e *Engine) IntervalTraced(q core.Query, until motion.Tick, m core.Method, 
 	isp.SetAttrInt("snapshots", int64(n))
 	isp.SetAttrInt("shards", int64(e.n))
 	ioBefore := e.PoolStats()
-	subs := make([]*core.Result, n)
-	errs := make([]error, n)
+	sc := intervalScratches.Get().(*intervalScratch)
+	subs := growResults(sc.subs, n)
+	errs := growErrors(sc.errs, n)
+	sc.subs, sc.errs = subs, errs
 	slots := isp.Fork("snapshot", n)
 	e.par.ForEachSpan(n, slots, func(i int, ssp *telemetry.Span) {
 		sub := q
@@ -421,12 +535,15 @@ func (e *Engine) IntervalTraced(q core.Query, until motion.Tick, m core.Method, 
 	for _, err := range errs {
 		if err != nil {
 			isp.End()
+			releaseIntervalScratch(sc)
 			return nil, err
 		}
 	}
 	out := &core.Result{Method: m, Cached: true}
 	var region geom.Region
 	for _, r := range subs {
+		// The sub-result regions are copied by value into the fresh union
+		// buffer, so coalescing it in place cannot touch a cached answer.
 		region = append(region, r.Region...)
 		out.CPU += r.CPU
 		out.Cached = out.Cached && r.Cached
@@ -437,10 +554,11 @@ func (e *Engine) IntervalTraced(q core.Query, until motion.Tick, m core.Method, 
 		out.ObjectsRetrieved += r.ObjectsRetrieved
 		out.Phases = telemetry.MergeSpans(out.Phases, r.Phases)
 	}
+	releaseIntervalScratch(sc)
 	out.IOs = e.PoolStats().Sub(ioBefore).RandomIOs()
 	out.IOTime = time.Duration(out.IOs) * e.cfg.IOCharge
 	usp := isp.Child("union")
-	out.Region = geom.Coalesce(region)
+	out.Region = geom.CoalesceInPlace(region)
 	usp.End()
 	isp.SetAttrInt("ios", out.IOs)
 	isp.End()

@@ -103,8 +103,9 @@ func (sw *sweeper) denseRects(points []geom.Point, cell geom.Rect, threshold int
 		}
 	}
 	sort.Float64s(events)
-	events = dedup(events)
+	// Retain the full scratch before dedup clips the result's capacity.
 	sw.events = events
+	events = dedup(events)
 
 	// Enter/exit orderings for incremental band maintenance.
 	sw.byEnter = sortedIndexInto(sw.byEnter, enterX)
@@ -170,7 +171,8 @@ func (sw *sweeper) denseRects(points []geom.Point, cell geom.Rect, threshold int
 		}
 	}
 	sw.members = members
-	return geom.Coalesce(out)
+	// out is built fresh per call, so the union coalesces in place.
+	return geom.CoalesceInPlace(out)
 }
 
 // segment is a half-open dense Y interval [lo, hi).
@@ -201,8 +203,9 @@ func (sw *sweeper) sweepY(members []geom.Point, yb, yt float64, threshold int, h
 		}
 	}
 	sort.Float64s(events)
-	events = dedup(events)
+	// Retain the full scratch before dedup clips the result's capacity.
 	sw.yEvents = events
+	events = dedup(events)
 
 	sw.yByEnter = sortedIndexInto(sw.yByEnter, enterY[:n])
 	sw.yByExit = sortedIndexInto(sw.yByExit, exitY[:n])
@@ -250,6 +253,10 @@ func (sw *sweeper) sweepY(members []geom.Point, yb, yt float64, threshold int, h
 	return segs
 }
 
+// dedup compacts sorted s in place, dropping equal neighbors. The result's
+// capacity is clipped to its length: it aliases s's backing array (which the
+// sweeper retains as scratch), so an append by any caller must reallocate
+// rather than silently clobber the retained buffer.
 func dedup(s []float64) []float64 {
 	out := s[:0]
 	for i, v := range s {
@@ -259,7 +266,7 @@ func dedup(s []float64) []float64 {
 			out = append(out, v)
 		}
 	}
-	return out
+	return out[:len(out):len(out)]
 }
 
 // growF64 returns buf resized to length n, reallocating only when the

@@ -1,7 +1,8 @@
 #!/bin/sh
 # benchdiff.sh — informational drift check for the checked-in BENCH_*.json
 # baselines: reruns a small version of each recorded benchmark on this host
-# and prints fresh-vs-baseline wall-time ratios per point.
+# and prints fresh-vs-baseline wall-time ratios per point (plus allocs/op
+# for the hotpath kernels, and a -benchmem spot check of the hot kernels).
 #
 # Usage: scripts/benchdiff.sh      (from the module root)
 #
@@ -29,7 +30,7 @@ WARM="${BENCHDIFF_WARM:-5}"
 WORKERS="${BENCHDIFF_WORKERS:-1,2}"
 
 have_baseline=0
-for f in BENCH_interval.json BENCH_snapshot.json BENCH_cache.json; do
+for f in BENCH_interval.json BENCH_snapshot.json BENCH_cache.json BENCH_hotpath.json; do
 	[ -f "$f" ] && have_baseline=1
 done
 if [ "$have_baseline" = "0" ]; then
@@ -46,6 +47,9 @@ if [ -f BENCH_interval.json ] || [ -f BENCH_snapshot.json ]; then
 fi
 if [ -f BENCH_cache.json ]; then
 	go run ./cmd/pdrbench -exp cache -n "$N" -warm "$WARM" -benchjson "$tmp" >/dev/null
+fi
+if [ -f BENCH_hotpath.json ]; then
+	go run ./cmd/pdrbench -exp hotpath -n "$N" -warm "$WARM" -benchjson "$tmp" >/dev/null
 fi
 
 # points FILE KEYFIELD — emit "key wallNanos" per point from the indented
@@ -82,10 +86,56 @@ diff_file() { # diff_file FILE KEYFIELD
 	done <"$tmp/base.txt"
 }
 
+# points_allocs FILE — emit "kernel wallNanos allocsPerOp" per hotpath
+# point, stopping before the carried-forward "before" block (same kernels).
+points_allocs() {
+	awk '
+		$1 == "\"before\":" { exit }
+		$1 == "\"kernel\":" { v = $2; gsub(/[",]/, "", v); k = v }
+		$1 == "\"wallNanos\":" { w = $2; gsub(/,/, "", w) }
+		$1 == "\"allocsPerOp\":" { a = $2; gsub(/,/, "", a); print k, w, a }
+	' "$1"
+}
+
+diff_hotpath() {
+	f=BENCH_hotpath.json
+	[ -f "$f" ] || return 0
+	if [ ! -f "$tmp/$f" ]; then
+		echo "$f: fresh run produced no output; skipping"
+		return 0
+	fi
+	points_allocs "$f" >"$tmp/base.txt"
+	points_allocs "$tmp/$f" >"$tmp/fresh.txt"
+	echo ""
+	echo "$f (kernel / baseline-wall / fresh-wall / ratio / baseline-allocs / fresh-allocs)"
+	while read -r key base ballocs; do
+		line=$(awk -v k="$key" '$1 == k { print $2, $3; exit }' "$tmp/fresh.txt")
+		if [ -z "$line" ]; then
+			echo "  $key ${base}ns (no fresh point)"
+			continue
+		fi
+		fresh=${line% *}
+		fallocs=${line#* }
+		awk -v k="$key" -v b="$base" -v f="$fresh" -v ba="$ballocs" -v fa="$fallocs" 'BEGIN {
+			flag = (fa + 0 > ba + 0) ? "   <- allocs regressed" : ""
+			printf "  %-14s %12.0fns %12.0fns %7.2fx %10s %10s%s\n", k, b, f, f / b, ba, fa, flag
+		}'
+	done <"$tmp/base.txt"
+	echo "  (wall ratios reflect the smaller fresh n; allocs/op are host- and"
+	echo "   size-independent for the micro kernels — fresh > baseline is a real regression)"
+}
+
 diff_file BENCH_interval.json workers
 diff_file BENCH_snapshot.json workers
 diff_file BENCH_cache.json name
+diff_hotpath
+echo ""
+echo "hot kernels on this host (go test -benchmem, 100x):"
+go test -run '^$' -bench 'BenchmarkSeriesEval|BenchmarkAddBoxDelta|BenchmarkFilter$' \
+	-benchtime=100x -benchmem ./internal/cheb ./internal/dh 2>/dev/null |
+	grep -E '^Benchmark' | sed 's/^/  /' || true
 echo ""
 echo "benchdiff: informational only; regenerate baselines with:"
 echo "  go run ./cmd/pdrbench -exp parallel -benchjson ."
 echo "  go run ./cmd/pdrbench -exp cache -benchjson ."
+echo "  go run ./cmd/pdrbench -exp hotpath -benchjson .   # keeps the recorded 'before'"

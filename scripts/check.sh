@@ -42,8 +42,8 @@ go test ./...
 step "go test -race (service + monitor: the concurrent surfaces)"
 go test -race ./internal/service/... ./internal/monitor/...
 
-step "go test -race (engine read path + sweep scratch reuse + result cache)"
-go test -race ./internal/core ./internal/sweep ./internal/parallel ./internal/storage ./internal/cache
+step "go test -race (engine read path + kernel scratch pools + result cache)"
+go test -race ./internal/core ./internal/cheb ./internal/dh ./internal/sweep ./internal/parallel ./internal/storage ./internal/cache
 
 step "go test -race (sharded engine: shard-local writes vs scatter-gather reads)"
 go test -race ./internal/shard
@@ -65,6 +65,10 @@ go test -run '^$' -fuzz FuzzDenseRectsMatchesOracle -fuzztime "${FUZZ_SECS}s" ./
 
 step "fuzz smoke: zcurve InWindow/BigMin agreement (${FUZZ_SECS}s)"
 go test -run '^$' -fuzz FuzzBigMinInWindow -fuzztime "${FUZZ_SECS}s" ./internal/zcurve/
+
+step "hotpath benchmark smoke (-benchtime=1x: kernels compile, run, report allocs)"
+go test -run '^$' -bench 'BenchmarkSeriesEval|BenchmarkAddBoxDelta|BenchmarkFilter$|BenchmarkDenseRects200|BenchmarkSnapshot' \
+	-benchtime=1x -benchmem ./internal/cheb ./internal/dh ./internal/sweep ./internal/core >/dev/null
 
 step "pdrvet (project-specific static analysis)"
 go run ./cmd/pdrvet ./...
