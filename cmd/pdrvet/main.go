@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pdrvet [-only floateq,locked] [-json] [-list] [-graph] [-fix [-dry]] [patterns]
+//	pdrvet [-only floateq,locked] [-json] [-list] [-graph] [-fix [-dry]] [-timing] [patterns]
 //
 // Patterns are module-relative ("./...", "./internal/geom", or full import
 // paths like "pdr/internal/service"); with none, or with "./...", the whole
@@ -12,7 +12,10 @@
 // object per line for machine consumption. -graph dumps the pdr:hot call
 // graph instead of running analyzers. -fix applies the suggested fixes
 // attached to findings (atomically per file, gofmt-checked); -fix -dry
-// prints the unified diffs without writing. Exits 1 when findings remain
+// prints the unified diffs without writing. -timing appends per-analyzer
+// wall time: a stderr table, or — with -json — one
+// {"analyzer":...,"timingMicros":...} line per analyzer after the
+// diagnostic stream. Exits 1 when findings remain
 // after lint:ignore suppression, 2 on load/usage errors. Load errors are
 // tolerant: a package that fails to parse or type-check is reported on
 // stderr, the remaining packages are still analyzed and their findings
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		graph    = fs.Bool("graph", false, "dump the pdr:hot call graph and exit")
 		fix      = fs.Bool("fix", false, "apply suggested fixes (atomic per file, gofmt-checked)")
 		dry      = fs.Bool("dry", false, "with -fix: print unified diffs instead of writing")
+		timing   = fs.Bool("timing", false, "report per-analyzer wall time (stderr table, or timingMicros lines with -json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,7 +99,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags, timings := lint.RunTimed(pkgs, analyzers)
+	if *timing {
+		if *asJSON && !*fix {
+			defer func() {
+				if err := lint.WriteJSONTimings(stdout, timings); err != nil {
+					fmt.Fprintln(stderr, "pdrvet:", err)
+				}
+			}()
+		} else {
+			defer writeTimingTable(stderr, timings)
+		}
+	}
 
 	if *fix {
 		sum, err := lint.ApplyFixes(diags, *dry, stdout)
@@ -151,6 +166,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// writeTimingTable prints per-analyzer wall time, in registration order, as
+// a human-readable stderr table (diagnostics own stdout).
+func writeTimingTable(w io.Writer, timings []lint.AnalyzerTiming) {
+	var total int64
+	fmt.Fprintln(w, "pdrvet: per-analyzer wall time:")
+	for _, t := range timings {
+		us := t.Duration.Microseconds()
+		total += us
+		fmt.Fprintf(w, "  %-14s %8dµs\n", t.Name, us)
+	}
+	fmt.Fprintf(w, "  %-14s %8dµs\n", "total", total)
 }
 
 // load resolves command-line patterns to packages. "./..." (or no

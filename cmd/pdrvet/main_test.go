@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"go/format"
 	"os"
 	"path/filepath"
@@ -276,5 +277,149 @@ func TestJSONCarriesPkgAndFixes(t *testing.T) {
 	}
 	if e := d.Fixes[0].Edits[0]; e.NewText == "" || e.End <= e.Start {
 		t.Errorf("fix edit not serialized: %+v", e)
+	}
+}
+
+// poolModule is a throwaway module with one fixable finding of each
+// poollife fix family: a Put with an uncleared pointer field and an
+// unclipped pooled-scratch return.
+func poolModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"pool.go": `package tmpmod
+
+import "sync"
+
+type node struct {
+	buf  []float64
+	next *node
+}
+
+var nodes = sync.Pool{New: func() any { return new(node) }}
+
+func Recycle(n *node) {
+	nodes.Put(n)
+}
+
+func Dedup(s []float64) []float64 {
+	out := s[:0]
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+	})
+}
+
+// TestFixDryPoolLifeDiffs pins the -fix -dry diffs for both poollife fix
+// families: nil-before-Put inserts the clear, cap-clip rewrites the return.
+func TestFixDryPoolLifeDiffs(t *testing.T) {
+	dir := poolModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-only", "poollife", "-fix", "-dry"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-fix -dry exit = %d, want 1: stderr=%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"+\tn.next = nil",
+		"-\treturn out",
+		"+\treturn out[:len(out):len(out)]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dry diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFixAppliesPoolLifeAndRoundTrips applies both poollife fixes and
+// re-runs the analyzer to prove the fixed tree is clean and gofmt-stable.
+func TestFixAppliesPoolLifeAndRoundTrips(t *testing.T) {
+	dir := poolModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-only", "poollife", "-fix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-fix exit = %d, want 0: stderr=%s", code, stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "pool.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "n.next = nil") || !strings.Contains(string(src), "out[:len(out):len(out)]") {
+		t.Fatalf("poollife fixes not applied:\n%s", src)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, src) {
+		t.Errorf("fixed file is not gofmt-clean:\n%s", src)
+	}
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-root", dir, "-only", "poollife"}, &out2, &err2); code != 0 {
+		t.Errorf("re-run after -fix exits %d, want 0: %s%s", code, out2.String(), err2.String())
+	}
+}
+
+// TestTimingTableListsEveryAnalyzer pins the -timing contract: one stderr
+// row per registered analyzer, in registration order, plus a total.
+func TestTimingTableListsEveryAnalyzer(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"ok.go":  "package tmpmod\n\nfunc F() {}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", dir, "-timing"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-timing exit = %d, want 0: %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	for _, name := range lint.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("timing table is missing analyzer %q:\n%s", name, msg)
+		}
+	}
+	if !strings.Contains(msg, "total") {
+		t.Errorf("timing table has no total row:\n%s", msg)
+	}
+}
+
+// TestTimingJSONEmitsTimingMicros pins the machine shape: with -json every
+// registered analyzer gets a {"analyzer":...,"timingMicros":...} line after
+// the diagnostic stream, and diagnostics stay decodable.
+func TestTimingJSONEmitsTimingMicros(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"eq.go":  "package tmpmod\n\nfunc cmp(a, b float64) bool { return a == b }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", dir, "-json", "-timing"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one finding): %s", code, stderr.String())
+	}
+	timed := make(map[string]bool)
+	sawDiag := false
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var rec struct {
+			Analyzer     string `json:"analyzer"`
+			TimingMicros *int64 `json:"timingMicros"`
+			File         string `json:"file"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		if rec.TimingMicros != nil {
+			timed[rec.Analyzer] = true
+		} else if rec.File != "" {
+			sawDiag = true
+		}
+	}
+	if !sawDiag {
+		t.Error("diagnostic line missing from -json -timing stream")
+	}
+	for _, name := range lint.Names() {
+		if !timed[name] {
+			t.Errorf("no timingMicros line for analyzer %q:\n%s", name, stdout.String())
+		}
 	}
 }

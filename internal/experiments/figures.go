@@ -231,12 +231,13 @@ func (r *Runner) dhMemoryPoint(e *Env, exact map[motion.Tick]core.Result, m int,
 		if err != nil {
 			return MemoryRow{}, err
 		}
+		opt := fres.OptimisticRegion()
+		pess := fres.PessimisticRegion()
+		fres.Release()
 		exArea := ex.Region.Area()
 		if exArea == 0 {
 			continue
 		}
-		opt := fres.OptimisticRegion()
-		pess := fres.PessimisticRegion()
 		row.RfpPct += 100 * opt.DifferenceArea(ex.Region) / exArea
 		row.RfnPct += 100 * ex.Region.DifferenceArea(pess) / exArea
 		n++

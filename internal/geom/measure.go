@@ -68,7 +68,7 @@ func dedupFloat64s(s []float64) []float64 {
 			out = append(out, v)
 		}
 	}
-	return out
+	return out[:len(out):len(out)]
 }
 
 // coverTree is a segment tree over the elementary intervals between

@@ -42,6 +42,21 @@ type Block struct {
 	Succs []*Block
 }
 
+// CondEdge records which successors of an if-head block are its true and
+// false branches. The worklist engine itself is branch-insensitive (one out
+// fact flows to every successor); analyses that want path refinement — "on
+// the err != nil edge this value is invalid" — combine CondEdge with
+// Analysis.EdgeRefine to filter facts per edge.
+type CondEdge struct {
+	// Cond is the if condition; it is also the last node of the head block,
+	// so the refined fact has already flowed across it.
+	Cond ast.Expr
+	// Then and Else are block indices: Then is entered when Cond is true,
+	// Else when it is false (the else branch, or the join block when the if
+	// has none).
+	Then, Else int
+}
+
 // Graph is the control-flow graph of one function body.
 type Graph struct {
 	// Entry is the block control enters on call.
@@ -55,12 +70,16 @@ type Graph struct {
 	Panic *Block
 	// Blocks lists every block, Entry first; Exit and Panic are included.
 	Blocks []*Block
+	// Conds maps an if-head block's index to its branch targets. A block
+	// heads at most one if statement (construction moves to the join block
+	// before the next statement), so the map is single-valued.
+	Conds map[int]CondEdge
 }
 
 // New builds the control-flow graph of body. A nil body (declared-only
 // function) yields a graph whose Entry connects straight to Exit.
 func New(body *ast.BlockStmt) *Graph {
-	g := &Graph{}
+	g := &Graph{Conds: make(map[int]CondEdge)}
 	b := &builder{g: g}
 	g.Entry = b.newBlock()
 	g.Exit = b.newBlock()
@@ -251,8 +270,10 @@ func (b *builder) stmt(s ast.Stmt) {
 			b.cur = els
 			b.stmt(s.Else)
 			b.edge(b.cur, done)
+			b.g.Conds[head.Index] = CondEdge{Cond: s.Cond, Then: then.Index, Else: els.Index}
 		} else {
 			b.edge(head, done)
+			b.g.Conds[head.Index] = CondEdge{Cond: s.Cond, Then: then.Index, Else: done.Index}
 		}
 		b.cur = done
 

@@ -544,3 +544,146 @@ func TestVariadicCallInLoopCondition(t *testing.T) {
 		t.Fatalf("loop-head condition appeared %d times, want 1", heads)
 	}
 }
+
+// TestCondEdges pins the branch-target records the path-sensitive analyzers
+// (poollife's err/nil refinement) rely on: every if head appears in Conds,
+// Then is the true branch, and Else is the else block — or the join block
+// when the if has no else.
+func TestCondEdges(t *testing.T) {
+	t.Run("if with else", func(t *testing.T) {
+		g := New(parseBody(t, "if cond {\n\ta()\n} else {\n\tb()\n}\nafter()"))
+		if len(g.Conds) != 1 {
+			t.Fatalf("got %d cond edges, want 1", len(g.Conds))
+		}
+		for head, ce := range g.Conds {
+			if ce.Cond == nil {
+				t.Fatal("cond edge lost its condition expression")
+			}
+			hb := g.Blocks[head]
+			if len(hb.Succs) != 2 {
+				t.Fatalf("if head has %d successors, want 2", len(hb.Succs))
+			}
+			if !blockCalls(g.Blocks[ce.Then], "a") {
+				t.Errorf("Then branch does not reach a()")
+			}
+			if !blockCalls(g.Blocks[ce.Else], "b") {
+				t.Errorf("Else branch does not reach b()")
+			}
+		}
+	})
+	t.Run("if without else targets the join", func(t *testing.T) {
+		g := New(parseBody(t, "if cond {\n\ta()\n}\nafter()"))
+		if len(g.Conds) != 1 {
+			t.Fatalf("got %d cond edges, want 1", len(g.Conds))
+		}
+		for _, ce := range g.Conds {
+			if !blockCalls(g.Blocks[ce.Then], "a") {
+				t.Errorf("Then branch does not reach a()")
+			}
+			if !blockCalls(g.Blocks[ce.Else], "after") {
+				t.Errorf("no-else Else edge should land on the join block")
+			}
+		}
+	})
+}
+
+// blockCalls reports whether b contains a call to the named function.
+func blockCalls(b *Block, name string) bool {
+	for _, n := range b.Nodes {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEdgeRefine pins the path-refinement contract: the refined fact flows
+// only along its edge, and refinements are re-joined at the merge point.
+func TestEdgeRefine(t *testing.T) {
+	// Facts are sets of strings; the condition "cond" kills the fact "x"
+	// on the true edge only.
+	type fact = map[string]bool
+	join := func(a, b fact) fact {
+		out := fact{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b fact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	g := New(parseBody(t, "if cond {\n\ta()\n} else {\n\tb()\n}\nafter()"))
+	refined := 0
+	res := Run(g, &Analysis[fact]{
+		Entry: fact{"x": true},
+		Join:  join,
+		Equal: equal,
+		Transfer: func(b *Block, in fact) fact {
+			return in
+		},
+		EdgeRefine: func(from, to *Block, out fact) fact {
+			ce, ok := g.Conds[from.Index]
+			if !ok || to.Index != ce.Then {
+				return out
+			}
+			refined++
+			next := fact{}
+			for k := range out {
+				if k != "x" {
+					next[k] = true
+				}
+			}
+			return next
+		},
+	})
+	if refined == 0 {
+		t.Fatal("EdgeRefine was never invoked on the branch edge")
+	}
+	sawThen, sawElse := false, false
+	for _, b := range g.Blocks {
+		in, ok := res.In[b.Index]
+		if !ok {
+			continue
+		}
+		switch {
+		case blockCalls(b, "a"):
+			sawThen = true
+			if in["x"] {
+				t.Error("fact x survived into the refined Then branch")
+			}
+		case blockCalls(b, "b"):
+			sawElse = true
+			if !in["x"] {
+				t.Error("fact x should persist on the unrefined Else branch")
+			}
+		case blockCalls(b, "after"):
+			if !in["x"] {
+				t.Error("join block should regain x from the Else path")
+			}
+		}
+	}
+	if !sawThen || !sawElse {
+		t.Fatalf("branch blocks not found (then=%v else=%v)", sawThen, sawElse)
+	}
+}

@@ -20,6 +20,13 @@ type Analysis[F any] struct {
 	// Transfer produces a block's exit fact from its entry fact by walking
 	// the block's nodes. It must not mutate in (copy first if F aliases).
 	Transfer func(b *Block, in F) F
+	// EdgeRefine, when non-nil, filters the fact flowing along one edge
+	// before it joins into the successor. Combined with Graph.Conds this
+	// gives limited path sensitivity: an analysis can drop facts that the
+	// branch condition contradicts ("this pooled value is nil on the
+	// err != nil edge"). It must not mutate out (copy first if F aliases)
+	// and must be monotone like Transfer, or the worklist may not converge.
+	EdgeRefine func(from, to *Block, out F) F
 }
 
 // Result holds the converged entry facts of a forward analysis.
@@ -44,8 +51,11 @@ func Run[F any](g *Graph, a *Analysis[F]) *Result[F] {
 		for _, s := range b.Succs {
 			cur, seen := res.In[s.Index]
 			next := out
+			if a.EdgeRefine != nil {
+				next = a.EdgeRefine(b, s, next)
+			}
 			if seen {
-				next = a.Join(cur, out)
+				next = a.Join(cur, next)
 				if a.Equal(cur, next) {
 					continue
 				}

@@ -177,6 +177,38 @@ func (s *S) Touch() {
 	s.n++
 }
 `, 0},
+		// Acquire-only helpers (lock*/rlock*) return with locks held by
+		// contract; the lockorder analyzer models what they leave held.
+		{"acquire-only helper exempt from leak check", decl + `
+func (s *S) lockAll() {
+	s.mu.Lock()
+}
+`, 0},
+		{"rlock-prefixed helper exempt too", rwDecl + `
+func (s *S) rlockAll() {
+	s.mu.RLock()
+}
+`, 0},
+		{"same body without the helper name still leaks", decl + `
+func (s *S) grab() {
+	s.mu.Lock()
+}
+`, 1},
+		{"acquire helper still flags double unlock", decl + `
+func (s *S) lockTouch() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+`, 1},
+		{"literal inside acquire helper keeps its own obligations", decl + `
+func (s *S) lockVia(f func(func())) {
+	f(func() {
+		s.mu.Lock()
+		s.n++
+	})
+}
+`, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

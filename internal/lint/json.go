@@ -46,6 +46,27 @@ func WriteJSON(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
+// JSONTiming is the machine-readable shape of one analyzer's wall time,
+// appended to the -json stream by pdrvet -timing. The analyzer field keeps
+// diagnostic lines and timing lines distinguishable: timing lines have
+// timingMicros and no file.
+type JSONTiming struct {
+	Analyzer     string `json:"analyzer"`
+	TimingMicros int64  `json:"timingMicros"`
+}
+
+// WriteJSONTimings emits one JSONTiming line per analyzer in the input
+// (registration) order.
+func WriteJSONTimings(w io.Writer, timings []AnalyzerTiming) error {
+	enc := json.NewEncoder(w)
+	for _, t := range timings {
+		if err := enc.Encode(JSONTiming{Analyzer: t.Name, TimingMicros: t.Duration.Microseconds()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadJSON parses JSON Lines produced by WriteJSON back into wire
 // diagnostics — the round-trip contract -json consumers rely on.
 func ReadJSON(r io.Reader) ([]JSONDiagnostic, error) {

@@ -21,6 +21,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 
 	"pdr/internal/lint/callgraph"
 )
@@ -53,6 +54,13 @@ type Analyzer struct {
 	// UsesCallGraph requests Pass.Graph: the module call graph with pdr:hot
 	// reachability, built once per Run over all loaded packages.
 	UsesCallGraph bool
+	// Prepare, when set, runs once per Run over every loaded package before
+	// the per-package passes, and its result is handed to each of this
+	// analyzer's passes via Pass.Shared. Interprocedural analyzers build
+	// their cross-package summaries here (pool releaser sets, lock-rank
+	// annotations) so per-package findings can see the whole module. The
+	// graph argument is non-nil only when UsesCallGraph is also set.
+	Prepare func(pkgs []*Package, graph *callgraph.Graph) any
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -69,6 +77,9 @@ type Pass struct {
 	// UsesCallGraph. It spans every package of the run, so hot reachability
 	// crosses package boundaries.
 	Graph *callgraph.Graph
+	// Shared is the analyzer's Prepare result (nil when Prepare is unset):
+	// module-wide state computed once per Run and read by every pass.
+	Shared any
 
 	diags *[]Diagnostic
 }
@@ -148,6 +159,8 @@ func All() []*Analyzer {
 		AnalyzerDeferUnlock,
 		AnalyzerAtomicMix,
 		AnalyzerNoLeak,
+		AnalyzerPoolLife,
+		AnalyzerLockOrder,
 		AnalyzerHotAlloc,
 		AnalyzerHotDefer,
 		AnalyzerHotLock,
@@ -187,12 +200,37 @@ func Names() []string {
 // Run applies the analyzers to every package and returns the surviving
 // findings in deterministic order, with lint:ignore suppression applied.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// AnalyzerTiming is the wall-clock cost of one analyzer across a whole run:
+// its Prepare phase plus every per-package pass. pdrvet -timing reports it
+// so suite growth stays observable.
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// RunTimed is Run with per-analyzer wall time measured. Timings come back
+// in registration order, one entry per analyzer of the run.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var graph *callgraph.Graph
 	for _, a := range analyzers {
 		if a.UsesCallGraph {
 			graph = BuildGraph(pkgs)
 			break
 		}
+	}
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	shared := make(map[string]any)
+	for _, a := range analyzers {
+		if a.Prepare == nil {
+			continue
+		}
+		start := time.Now()
+		shared[a.Name] = a.Prepare(pkgs, graph)
+		elapsed[a.Name] += time.Since(start)
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -205,17 +243,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Shared:   shared[a.Name],
 				diags:    &pkgDiags,
 			}
 			if a.UsesCallGraph {
 				pass.Graph = graph
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		diags = append(diags, applyIgnores(pkg, analyzers, pkgDiags)...)
 	}
 	sortDiags(diags)
-	return diags
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Duration: elapsed[a.Name]}
+	}
+	return diags, timings
 }
 
 // sortDiags orders findings by (package, file, line, col, analyzer,

@@ -1,0 +1,733 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pdr/internal/lint/callgraph"
+	"pdr/internal/lint/cfg"
+)
+
+// AnalyzerLockOrder proves the engine's deadlock-freedom argument statically.
+// Mutex fields annotated with a `// pdr:lockrank <name> [rank]` comment form
+// lock classes; the analyzer extends the must-held lock-set dataflow
+// (lockflow.go) across the call graph into a global acquisition-order graph
+// — "while holding class A, class B is acquired" — and reports:
+//
+//   - rank violations: an edge from a higher to a lower (or equal) rank,
+//     which is how every deadlock between ranked classes must start;
+//   - acquisition cycles among unranked classes (A→B and B→A can deadlock
+//     two goroutines even though each order is locally fine);
+//   - shard index discipline: a class declared over a mutex slice
+//     (`smu []sync.RWMutex`) must be acquired in ascending index order —
+//     the PR 8 scatter-gather protocol — so holding smu[2] while locking
+//     smu[1], or a descending `for i--` acquire loop, is a finding.
+//
+// The analysis is interprocedural: acquire-only helpers (rlockAll,
+// lockMaskWrite) are summarized as "leaves these classes held", their
+// release twins as "drops them", so an edge like shard→shard-registry is
+// seen even though the registry bucket locks inside a callee. Unannotated
+// mutexes are invisible — the analyzer checks the declared protocol, it
+// does not invent one.
+var AnalyzerLockOrder = &Analyzer{
+	Name:          "lockorder",
+	Doc:           "builds the pdr:lockrank acquisition-order graph: rank violations, cycles, shard index discipline",
+	Run:           runLockOrder,
+	UsesCallGraph: true,
+	Prepare: func(pkgs []*Package, graph *callgraph.Graph) any {
+		return prepareLockOrder(pkgs, graph)
+	},
+}
+
+// LockRankDirective marks a mutex field as a named lock class.
+const LockRankDirective = "pdr:lockrank"
+
+// lockClass is one annotated mutex class. Fields sharing a directive name
+// share the class (and must agree on rank).
+type lockClass struct {
+	name   string
+	rank   int
+	ranked bool
+	// indexed marks a class declared over a slice/array of mutexes, whose
+	// instances are ordered by index (the ascending-acquire discipline)
+	// rather than by rank against each other.
+	indexed bool
+	pos     token.Pos
+}
+
+// lockOrderFinding is one pre-rendered diagnostic, attributed to a package.
+type lockOrderFinding struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+// lockOrderEdge records "while holding from, to was acquired" at the first
+// site observed.
+type lockOrderEdge struct {
+	from, to *lockClass
+	pkg      string
+	pos      token.Pos
+	reported bool
+}
+
+// lockOrderResult is the Prepare output: findings grouped per package.
+type lockOrderResult struct {
+	byPkg map[string][]lockOrderFinding
+}
+
+func runLockOrder(p *Pass) {
+	res, _ := p.Shared.(*lockOrderResult)
+	if res == nil {
+		return
+	}
+	for _, f := range res.byPkg[p.Path] {
+		p.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// lockNodeUnit is one function or literal body with the package context to
+// resolve it.
+type lockNodeUnit struct {
+	node *callgraph.Node
+	body *ast.BlockStmt
+	pkg  *Package
+	pass *Pass
+}
+
+type classSet map[*lockClass]bool
+
+func (s classSet) addAll(o classSet) bool {
+	grew := false
+	for c := range o {
+		if !s[c] {
+			s[c] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func prepareLockOrder(pkgs []*Package, graph *callgraph.Graph) *lockOrderResult {
+	res := &lockOrderResult{byPkg: make(map[string][]lockOrderFinding)}
+	if graph == nil {
+		return res
+	}
+	report := func(pkg string, pos token.Pos, format string, args ...any) {
+		res.byPkg[pkg] = append(res.byPkg[pkg], lockOrderFinding{
+			pkg: pkg, pos: pos, msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	classes, byName := collectLockClasses(pkgs, report)
+	if len(byName) == 0 {
+		return res
+	}
+
+	units := collectLockNodeUnits(pkgs, graph)
+
+	// Interprocedural summaries to a fixed point over the call graph:
+	// acqTrans — every class a function may acquire, transitively;
+	// releases — every class it may drop (deferred releases included);
+	// netHeld — classes still held when it returns (acquire-only helpers).
+	directAcq := make(map[*callgraph.Node]classSet)
+	directRel := make(map[*callgraph.Node]classSet)
+	for _, u := range units {
+		acq, rel := directLockEffects(u, classes)
+		directAcq[u.node] = acq
+		directRel[u.node] = rel
+	}
+	acqTrans := make(map[*callgraph.Node]classSet)
+	releases := make(map[*callgraph.Node]classSet)
+	for _, u := range units {
+		acqTrans[u.node] = classSet{}
+		releases[u.node] = classSet{}
+		acqTrans[u.node].addAll(directAcq[u.node])
+		releases[u.node].addAll(directRel[u.node])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			for _, c := range u.node.Calls {
+				if acqTrans[c] != nil && acqTrans[u.node].addAll(acqTrans[c]) {
+					changed = true
+				}
+				if releases[c] != nil && releases[u.node].addAll(releases[c]) {
+					changed = true
+				}
+			}
+		}
+	}
+	netHeld := make(map[*callgraph.Node]classSet)
+	for _, u := range units {
+		netHeld[u.node] = classSet{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			next := classSet{}
+			next.addAll(directAcq[u.node])
+			for _, c := range u.node.Calls {
+				next.addAll(netHeld[c])
+			}
+			for c := range releases[u.node] {
+				delete(next, c)
+			}
+			if netHeld[u.node].addAll(next) {
+				changed = true
+			}
+		}
+	}
+
+	// Per-function flow: collect acquisition-order edges and check the
+	// indexed (shard) discipline.
+	var edges []*lockOrderEdge
+	edgeIndex := make(map[[2]*lockClass]*lockOrderEdge)
+	recordEdge := func(from, to *lockClass, pkg string, pos token.Pos) {
+		key := [2]*lockClass{from, to}
+		if _, seen := edgeIndex[key]; seen {
+			return
+		}
+		e := &lockOrderEdge{from: from, to: to, pkg: pkg, pos: pos}
+		edgeIndex[key] = e
+		edges = append(edges, e)
+	}
+	for _, u := range units {
+		walkLockOrderFlow(u, classes, byName, acqTrans, releases, netHeld, graph, recordEdge, report)
+		checkDescendingLoops(u, classes, acqTrans, graph, report)
+	}
+
+	// Rank discipline over the deduplicated edges.
+	for _, e := range edges {
+		switch {
+		case e.from == e.to:
+			if e.from.indexed {
+				continue // ordered by index, checked separately
+			}
+			e.reported = true
+			report(e.pkg, e.pos, "acquires lock class %q while already holding it; instances of a non-indexed class have no defined order", e.to.name)
+		case e.from.ranked && e.to.ranked && e.to.rank < e.from.rank:
+			e.reported = true
+			report(e.pkg, e.pos, "lock order violation: acquires %q (rank %d) while holding %q (rank %d); pdr:lockrank ranks must ascend", e.to.name, e.to.rank, e.from.name, e.from.rank)
+		case e.from.ranked && e.to.ranked && e.to.rank == e.from.rank:
+			e.reported = true
+			report(e.pkg, e.pos, "lock order violation: acquires %q while holding %q, both rank %d; give nested classes distinct ascending ranks", e.to.name, e.from.name, e.from.rank)
+		}
+	}
+
+	reportLockCycles(edges, report)
+	return res
+}
+
+// collectLockClasses parses every pdr:lockrank directive on struct fields
+// into the class registry, reporting malformed and conflicting directives.
+func collectLockClasses(pkgs []*Package, report func(string, token.Pos, string, ...any)) (map[*types.Var]*lockClass, map[string]*lockClass) {
+	classes := make(map[*types.Var]*lockClass)
+	byName := make(map[string]*lockClass)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					name, rank, ranked, pos, found, bad := parseLockRank(field.Doc, field.Comment)
+					if bad != "" {
+						report(pkg.Path, pos, "%s", bad)
+						continue
+					}
+					if !found {
+						continue
+					}
+					cls := byName[name]
+					if cls == nil {
+						cls = &lockClass{name: name, rank: rank, ranked: ranked, pos: pos}
+						byName[name] = cls
+					} else if cls.ranked != ranked || (ranked && cls.rank != rank) {
+						report(pkg.Path, pos, "pdr:lockrank %s: conflicting rank with the declaration at another field; one class, one rank", name)
+						continue
+					}
+					for _, id := range field.Names {
+						v, isVar := pkg.Info.Defs[id].(*types.Var)
+						if v == nil || !isVar {
+							continue
+						}
+						classes[v] = cls
+						if isIndexedMutex(v.Type()) {
+							cls.indexed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return classes, byName
+}
+
+// parseLockRank extracts one pdr:lockrank directive from the field's doc or
+// trailing comment: `pdr:lockrank <name>` (unranked, cycle detection only)
+// or `pdr:lockrank <name> <rank>`.
+func parseLockRank(groups ...*ast.CommentGroup) (name string, rank int, ranked bool, pos token.Pos, found bool, malformed string) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, LockRankDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, LockRankDirective))
+			fields := strings.Fields(rest)
+			pos = c.Pos()
+			switch len(fields) {
+			case 1:
+				return fields[0], 0, false, pos, true, ""
+			case 2:
+				r, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return "", 0, false, pos, false, fmt.Sprintf("malformed pdr:lockrank: rank %q is not an integer", fields[1])
+				}
+				return fields[0], r, true, pos, true, ""
+			default:
+				return "", 0, false, pos, false, "malformed pdr:lockrank: want \"pdr:lockrank <name> [rank]\""
+			}
+		}
+	}
+	return "", 0, false, token.NoPos, false, ""
+}
+
+// isIndexedMutex reports whether t is a slice or array of mutexes.
+func isIndexedMutex(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isMutex(derefType(u.Elem()))
+	case *types.Array:
+		return isMutex(derefType(u.Elem()))
+	}
+	return false
+}
+
+// collectLockNodeUnits pairs every call-graph node with its body and a
+// throwaway pass for type resolution, in deterministic package/file order.
+func collectLockNodeUnits(pkgs []*Package, graph *callgraph.Graph) []lockNodeUnit {
+	var units []lockNodeUnit
+	for _, pkg := range pkgs {
+		var sink []Diagnostic
+		pass := &Pass{
+			Path:  pkg.Path,
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			diags: &sink,
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := graph.FuncNode(obj)
+				if node == nil {
+					continue
+				}
+				units = append(units, lockNodeUnit{node: node, body: fd.Body, pkg: pkg, pass: pass})
+				ast.Inspect(fd.Body, func(x ast.Node) bool {
+					if fl, isLit := x.(*ast.FuncLit); isLit {
+						if ln := graph.LitNode(fl); ln != nil {
+							units = append(units, lockNodeUnit{node: ln, body: fl.Body, pkg: pkg, pass: pass})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return units
+}
+
+// directLockEffects scans one body (nested literals excluded — they are
+// their own nodes) for classed mutex operations: classes acquired outside
+// defers, and classes released anywhere including deferred releases.
+func directLockEffects(u lockNodeUnit, classes map[*types.Var]*lockClass) (acq, rel classSet) {
+	acq, rel = classSet{}, classSet{}
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if n != x {
+					return false
+				}
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				op, ok := mutexOpOf(u.pass, x)
+				if !ok {
+					return true
+				}
+				cls, classed := classOfMutexExpr(u.pkg.Info, classes, x.Fun.(*ast.SelectorExpr).X)
+				if !classed {
+					return true
+				}
+				switch op.name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if !inDefer {
+						acq[cls] = true
+					}
+				case "Unlock", "RUnlock":
+					rel[cls] = true
+				}
+			}
+			return true
+		})
+	}
+	if u.node.Lit != nil {
+		walk(u.node.Lit.Body, false)
+	} else {
+		walk(u.body, false)
+	}
+	return acq, rel
+}
+
+// classOfMutexExpr resolves the mutex expression of a Lock/Unlock call to
+// its annotated class: e.smu[i] → the smu field's class, b.mu → regBucket's.
+func classOfMutexExpr(info *types.Info, classes map[*types.Var]*lockClass, e ast.Expr) (*lockClass, bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			if t.Op != token.AND {
+				return nil, false
+			}
+			e = t.X
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[t]; ok && s.Kind() == types.FieldVal {
+				if v, isVar := s.Obj().(*types.Var); isVar {
+					if cls, classed := classes[v]; classed {
+						return cls, true
+					}
+				}
+			}
+			return nil, false
+		case *ast.Ident:
+			if v, ok := info.Uses[t].(*types.Var); ok {
+				if cls, classed := classes[v]; classed {
+					return cls, true
+				}
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// syntheticLockKey is the lockState key recording "a helper left this class
+// held"; the NUL prefix cannot collide with any exprKey.
+func syntheticLockKey(cls *lockClass) string { return "\x00" + cls.name }
+
+// walkLockOrderFlow runs the augmented must-held flow over one body and
+// emits acquisition-order edges: at every classed acquire and every call
+// into a class-acquiring callee, each held class gains an edge to the
+// acquired one. The indexed-class constant-index discipline is checked at
+// acquire sites from the same facts.
+func walkLockOrderFlow(
+	u lockNodeUnit,
+	classes map[*types.Var]*lockClass,
+	byName map[string]*lockClass,
+	acqTrans, releases, netHeld map[*callgraph.Node]classSet,
+	graph *callgraph.Graph,
+	recordEdge func(from, to *lockClass, pkg string, pos token.Pos),
+	report func(string, token.Pos, string, ...any),
+) {
+	keyClass := make(map[string]*lockClass)
+	heldClasses := func(st lockState) classSet {
+		out := classSet{}
+		for k := range st {
+			if strings.HasPrefix(k, "\x00") {
+				if cls := byName[k[1:]]; cls != nil {
+					out[cls] = true
+				}
+			} else if cls := keyClass[k]; cls != nil {
+				out[cls] = true
+			}
+		}
+		return out
+	}
+	calleeNode := func(call *ast.CallExpr) *callgraph.Node {
+		if fl, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+			return graph.LitNode(fl)
+		}
+		if fn := staticCallee(u.pkg.Info, call); fn != nil {
+			return graph.FuncNode(fn)
+		}
+		return nil
+	}
+	// step advances the state across one node; with emit true it also
+	// records edges and index-discipline findings (the replay pass).
+	step := func(n ast.Node, in lockState, emit bool) lockState {
+		out := in
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.DeferStmt:
+				return false // releases at exit; mid-body state unchanged
+			case *ast.FuncLit:
+				// The literal is its own node; its occurrence here may run
+				// under the current hold set.
+				if emit {
+					if ln := graph.LitNode(x); ln != nil {
+						for h := range heldClasses(out) {
+							for a := range acqTrans[ln] {
+								recordEdge(h, a, u.pkg.Path, x.Pos())
+							}
+						}
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if op, ok := mutexOpOf(u.pass, x); ok {
+					cls, classed := classOfMutexExpr(u.pkg.Info, classes, x.Fun.(*ast.SelectorExpr).X)
+					if classed && (op.name == "Lock" || op.name == "RLock") {
+						keyClass[op.key] = cls
+						if emit {
+							for h := range heldClasses(out) {
+								recordEdge(h, cls, u.pkg.Path, op.pos)
+							}
+							checkIndexOrder(u, out, keyClass, cls, op, report)
+						}
+					}
+					out = out.apply(op)
+					return true
+				}
+				callee := calleeNode(x)
+				if callee == nil {
+					return true
+				}
+				if emit {
+					for h := range heldClasses(out) {
+						for a := range acqTrans[callee] {
+							recordEdge(h, a, u.pkg.Path, x.Lparen)
+						}
+					}
+				}
+				if len(releases[callee]) > 0 || len(netHeld[callee]) > 0 {
+					out = out.clone()
+					for c := range releases[callee] {
+						delete(out, syntheticLockKey(c))
+					}
+					for c := range netHeld[callee] {
+						out[syntheticLockKey(c)] = 2
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+	g := cfg.New(u.body)
+	res := cfg.Run(g, &cfg.Analysis[lockState]{
+		Entry: lockState{},
+		Join:  joinLockStates,
+		Equal: equalLockStates,
+		Transfer: func(b *cfg.Block, in lockState) lockState {
+			for _, n := range b.Nodes {
+				in = step(n, in, false)
+			}
+			return in
+		},
+	})
+	res.WalkReached(
+		func(n ast.Node, in lockState) lockState { return step(n, in, false) },
+		func(n ast.Node, before lockState) { step(n, before, true) },
+	)
+}
+
+// checkIndexOrder enforces ascending acquisition within an indexed class:
+// acquiring cls[c2] while provably holding cls[c1] with constant c1 > c2
+// breaks the sharding protocol.
+func checkIndexOrder(u lockNodeUnit, st lockState, keyClass map[string]*lockClass, cls *lockClass, op mutexOp, report func(string, token.Pos, string, ...any)) {
+	if !cls.indexed {
+		return
+	}
+	c2, ok := constIndexOf(op.key)
+	if !ok {
+		return
+	}
+	for k := range st {
+		if keyClass[k] != cls || k == op.key {
+			continue
+		}
+		if c1, held := constIndexOf(k); held && c1 > c2 {
+			report(u.pkg.Path, op.pos, "acquires %s while holding %s: %q locks must be taken in ascending index order (the scatter-gather deadlock-freedom protocol)", op.key, k, cls.name)
+		}
+	}
+}
+
+// constIndexOf extracts a trailing constant index from an exprKey like
+// "e.smu[3]".
+func constIndexOf(key string) (int, bool) {
+	if !strings.HasSuffix(key, "]") {
+		return 0, false
+	}
+	open := strings.LastIndexByte(key, '[')
+	if open < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(key[open+1 : len(key)-1])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// checkDescendingLoops flags the syntactic descending-acquire shape: a
+// `for ... ; i--` loop that locks an indexed class at the loop variable,
+// directly or through an acquire helper taking the variable.
+func checkDescendingLoops(u lockNodeUnit, classes map[*types.Var]*lockClass, acqTrans map[*callgraph.Node]classSet, graph *callgraph.Graph, report func(string, token.Pos, string, ...any)) {
+	body := u.body
+	if u.node.Lit != nil {
+		body = u.node.Lit.Body
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, isLit := n.(*ast.FuncLit); isLit && body != fl.Body {
+			return false
+		}
+		fs, isFor := n.(*ast.ForStmt)
+		if !isFor || fs.Post == nil {
+			return true
+		}
+		post, isIncDec := fs.Post.(*ast.IncDecStmt)
+		if !isIncDec || post.Tok != token.DEC {
+			return true
+		}
+		v, isID := post.X.(*ast.Ident)
+		if !isID {
+			return true
+		}
+		ast.Inspect(fs.Body, func(x ast.Node) bool {
+			if _, isLit := x.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, isCall := x.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if op, isOp := mutexOpOf(u.pass, call); isOp {
+				if op.name != "Lock" && op.name != "RLock" {
+					return true
+				}
+				cls, classed := classOfMutexExpr(u.pkg.Info, classes, call.Fun.(*ast.SelectorExpr).X)
+				if classed && cls.indexed && mentionsName(call.Fun.(*ast.SelectorExpr).X, v.Name) {
+					report(u.pkg.Path, op.pos, "acquires %q locks in a descending loop (%s--); the sharding protocol requires ascending index order", cls.name, v.Name)
+				}
+				return true
+			}
+			callee := (*callgraph.Node)(nil)
+			if fn := staticCallee(u.pkg.Info, call); fn != nil {
+				callee = graph.FuncNode(fn)
+			}
+			if callee == nil {
+				return true
+			}
+			for a := range acqTrans[callee] {
+				if !a.indexed {
+					continue
+				}
+				for _, arg := range call.Args {
+					if mentionsName(arg, v.Name) {
+						report(u.pkg.Path, call.Lparen, "calls an acquire helper for %q in a descending loop (%s--); the sharding protocol requires ascending index order", a.name, v.Name)
+						return true
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// reportLockCycles finds acquisition cycles among classes whose edges were
+// not already reported as rank violations (rank checks subsume cycles among
+// fully ranked classes, so this catches the unranked remainder).
+func reportLockCycles(edges []*lockOrderEdge, report func(string, token.Pos, string, ...any)) {
+	adj := make(map[*lockClass][]*lockOrderEdge)
+	for _, e := range edges {
+		if e.reported || e.from == e.to {
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e)
+	}
+	// Iterative DFS cycle detection with deterministic order: classes by
+	// name, out-edges in insertion order. Each cycle is reported once, at
+	// its first edge, naming the classes along it.
+	var classNames []*lockClass
+	for c := range adj {
+		classNames = append(classNames, c)
+	}
+	sort.Slice(classNames, func(i, j int) bool { return classNames[i].name < classNames[j].name })
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[*lockClass]int)
+	reportedCycle := make(map[*lockClass]bool)
+	var path []*lockOrderEdge
+	var visit func(c *lockClass)
+	visit = func(c *lockClass) {
+		state[c] = onStack
+		for _, e := range adj[c] {
+			switch state[e.to] {
+			case unvisited:
+				path = append(path, e)
+				visit(e.to)
+				path = path[:len(path)-1]
+			case onStack:
+				// Found a back edge: the cycle is e plus the path suffix
+				// from e.to back to c.
+				cycle := []*lockOrderEdge{e}
+				for i := len(path) - 1; i >= 0; i-- {
+					cycle = append(cycle, path[i])
+					if path[i].from == e.to {
+						break
+					}
+				}
+				if reportedCycle[e.to] {
+					continue
+				}
+				reportedCycle[e.to] = true
+				names := make([]string, 0, len(cycle))
+				for _, ce := range cycle {
+					names = append(names, ce.from.name)
+				}
+				sort.Strings(names)
+				report(e.pkg, e.pos, "lock classes %s form an acquisition cycle (possible deadlock); give them pdr:lockrank ranks and acquire in ascending order", strings.Join(names, ", "))
+			}
+		}
+		state[c] = done
+	}
+	for _, c := range classNames {
+		if state[c] == unvisited {
+			visit(c)
+		}
+	}
+}

@@ -1,0 +1,949 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pdr/internal/lint/callgraph"
+	"pdr/internal/lint/cfg"
+)
+
+// AnalyzerPoolLife verifies the ownership discipline of sync.Pool-backed
+// scratch, the invariant the zero-allocation query kernels rest on. Per
+// function it tracks every value the function becomes responsible for —
+// a direct `x := pool.Get().(*T)` or a call to a provider such as
+// Histogram.Filter — through the CFG and reports:
+//
+//   - a pooled value not released on every panic-free path out of the
+//     function (must-reach, like deferunlock): Put/Release it before each
+//     return or defer the release;
+//   - use after release: any mention of the value once every path reaching
+//     the point has returned it to its pool;
+//   - double release: a Put/Release every reaching path has already done,
+//     and a deferred release that re-runs after an explicit one;
+//   - pointer-bearing fields not cleared before Put: the pool would pin the
+//     last query's data live (mechanical fix: insert the `x.f = nil` /
+//     `clear(x.f)` lines before the Put);
+//   - a pooled-scratch alias of a caller slice (`out := s[:0]` + append)
+//     returned without a cap-clip, letting the caller's appends clobber
+//     retained scratch (mechanical fix: return `out[:len(out):len(out)]`).
+//
+// Release knowledge is interprocedural: Prepare builds module-wide releaser
+// and provider summaries (poolflow.go), so core releasing a dh value by
+// calling its dh method is understood across the package boundary. Ownership
+// transfers end tracking: returning the value, storing it into a field,
+// composite literal, or channel, capturing it in a function literal or
+// goroutine, or passing it to a non-releasing callee all hand the obligation
+// to someone this function can no longer see. Error-path correlation uses
+// edge refinement: on the `err != nil` edge of `x, err := provider(...)`
+// the pooled result is invalid and carries no obligation.
+var AnalyzerPoolLife = &Analyzer{
+	Name: "poollife",
+	Doc:  "tracks sync.Pool scratch lifetimes: leaked or double releases, use-after-Put, un-cleared pointer fields, un-clipped pooled returns",
+	Run:  runPoolLife,
+	Prepare: func(pkgs []*Package, _ *callgraph.Graph) any {
+		return buildPoolSummary(pkgs)
+	},
+}
+
+// poolFact is one reachable configuration of one tracked pooled value.
+// Values are comparable, so a set of them is a map key set.
+type poolFact struct {
+	// live is true while the release obligation is pending; false once this
+	// path returned the value to its pool.
+	live   bool
+	acqPos token.Pos
+	relPos token.Pos
+	// deferRel marks a pending deferred release (defer pool.Put(x) or
+	// defer x.Release()).
+	deferRel bool
+	deferPos token.Pos
+	// errKey names the error assigned alongside a provider's result; until
+	// an err-nil check splits the paths, the obligation is conditional.
+	errKey string
+	// src says what produced the value ("e.scratches.Get", "Filter").
+	src    string
+	viaGet bool
+}
+
+// poolState maps tracked identifier -> set of reachable configurations.
+type poolState map[string]map[poolFact]bool
+
+func (s poolState) clone() poolState {
+	out := make(poolState, len(s))
+	for k, set := range s {
+		cp := make(map[poolFact]bool, len(set))
+		for f := range set {
+			cp[f] = true
+		}
+		out[k] = cp
+	}
+	return out
+}
+
+func joinPoolStates(a, b poolState) poolState {
+	out := a.clone()
+	for k, set := range b {
+		if out[k] == nil {
+			out[k] = make(map[poolFact]bool, len(set))
+		}
+		for f := range set {
+			out[k][f] = true
+		}
+	}
+	return out
+}
+
+func equalPoolStates(a, b poolState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, as := range a {
+		bs, ok := b[k]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for f := range as {
+			if !bs[f] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allReleasedSet reports whether every reachable configuration has released
+// the value — the precondition for "use after release" and "double release".
+func allReleasedSet(set map[poolFact]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	for f := range set {
+		if f.live {
+			return false
+		}
+	}
+	return true
+}
+
+type poolReporter func(pos token.Pos, format string, args ...any)
+
+func runPoolLife(p *Pass) {
+	sum, _ := p.Shared.(*poolSummary)
+	if sum == nil {
+		sum = buildPoolSummary(nil)
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolLife(p, sum, fd.Body)
+			checkNilBeforePut(p, fd)
+			checkCapClip(p, fd)
+		}
+	}
+}
+
+// checkPoolLife runs the lifetime dataflow over one function body and,
+// recursively, every function literal inside it (a literal acquires and
+// releases on its own behalf).
+func checkPoolLife(p *Pass, sum *poolSummary, body *ast.BlockStmt) {
+	for _, fl := range allFuncLits(body) {
+		checkPoolLife(p, sum, fl.Body)
+	}
+	g := cfg.New(body)
+	reported := make(map[string]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		key := p.Fset.Position(pos).String() + format
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		p.Reportf(pos, format, args...)
+	}
+	step := func(n ast.Node, in poolState) poolState { return stepPoolState(p, sum, n, in, nil) }
+	res := cfg.Run(g, &cfg.Analysis[poolState]{
+		Entry: poolState{},
+		Join:  joinPoolStates,
+		Equal: equalPoolStates,
+		Transfer: func(b *cfg.Block, in poolState) poolState {
+			for _, n := range b.Nodes {
+				in = stepPoolState(p, sum, n, in, nil)
+			}
+			return in
+		},
+		EdgeRefine: func(from, to *cfg.Block, out poolState) poolState {
+			return refinePoolEdge(g, from, to, out)
+		},
+	})
+	// Replay with reporting enabled: use-after-release and double release
+	// are judged against the converged state before each node.
+	res.WalkReached(step, func(n ast.Node, before poolState) {
+		stepPoolState(p, sum, n, before, report)
+	})
+	// Leak check at normal exit. Panic paths are exempt, matching the
+	// tree's convention that index corruption abandons the process.
+	exit, ok := res.ExitFacts()
+	if !ok {
+		return
+	}
+	for key, set := range exit {
+		for f := range set {
+			switch {
+			case f.live && !f.deferRel && f.viaGet:
+				report(f.acqPos, "%s (from %s) is not returned to its pool on every path; Put it before each return or defer the Put", key, f.src)
+			case f.live && !f.deferRel:
+				report(f.acqPos, "%s (pooled result of %s) is not released on every path; call its release before each return or defer it", key, f.src)
+			case !f.live && f.deferRel:
+				report(f.deferPos, "deferred release of %s runs after a path already released it (double release at return)", key)
+			}
+		}
+	}
+}
+
+// refinePoolEdge filters the fact flowing along one if-branch edge: on the
+// `x == nil` edge a tracked x carries no obligation, and on the `err != nil`
+// edge of a provider acquisition the pooled result is invalid by the
+// provider contract (valid-or-error, never both).
+func refinePoolEdge(g *cfg.Graph, from, to *cfg.Block, out poolState) poolState {
+	ce, ok := g.Conds[from.Index]
+	if !ok {
+		return out
+	}
+	name, nilOnTrue, ok := nilCheckOf(ce.Cond)
+	if !ok {
+		return out
+	}
+	var isNil bool
+	switch to.Index {
+	case ce.Then:
+		isNil = nilOnTrue
+	case ce.Else:
+		isNil = !nilOnTrue
+	default:
+		return out
+	}
+	refined := out.clone()
+	if isNil {
+		// The tracked value itself is nil on this edge: no obligation.
+		delete(refined, name)
+	}
+	for k, set := range refined {
+		touched := false
+		next := make(map[poolFact]bool, len(set))
+		for f := range set {
+			if f.errKey == name {
+				touched = true
+				if !isNil {
+					continue // err != nil: the pooled result is invalid
+				}
+				f.errKey = "" // err == nil: the obligation is unconditional
+			}
+			next[f] = true
+		}
+		if !touched {
+			continue
+		}
+		if len(next) == 0 {
+			delete(refined, k)
+		} else {
+			refined[k] = next
+		}
+	}
+	return refined
+}
+
+// nilCheckOf recognizes `x == nil` / `x != nil` (either operand order) over
+// a bare identifier, returning the identifier and whether the condition
+// being true means x is nil.
+func nilCheckOf(cond ast.Expr) (name string, nilOnTrue bool, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	other := x
+	if id, isID := y.(*ast.Ident); isID && id.Name == "nil" {
+		other = x
+	} else if id, isID := x.(*ast.Ident); isID && id.Name == "nil" {
+		other = y
+	} else {
+		return "", false, false
+	}
+	id, isID := other.(*ast.Ident)
+	if !isID {
+		return "", false, false
+	}
+	return id.Name, be.Op == token.EQL, true
+}
+
+// stepPoolState advances the pool state across one CFG node. When report is
+// non-nil, use-after-release and double release are reported (the replay
+// pass); the fixed-point pass passes nil.
+func stepPoolState(p *Pass, sum *poolSummary, n ast.Node, in poolState, report poolReporter) poolState {
+	out := in.clone()
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		stepPoolAssign(p, sum, s, out, report)
+	case *ast.DeferStmt:
+		stepPoolDefer(p, sum, s, out, report)
+	case *ast.GoStmt:
+		// The goroutine outlives this frame: anything it mentions escapes.
+		walkPoolExpr(p, sum, s.Call, out, report, nil)
+		dropMentionedKeys(s.Call, out)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			walkPoolExpr(p, sum, r, out, report, nil)
+		}
+		for _, r := range s.Results {
+			// Returning the value transfers ownership to the caller (the
+			// provider shape); the obligation is no longer this function's.
+			if name := rootOfValue(r); name != "" {
+				delete(out, name)
+			}
+		}
+	case *ast.SendStmt:
+		walkPoolExpr(p, sum, s.Chan, out, report, nil)
+		walkPoolExpr(p, sum, s.Value, out, report, nil)
+		if name := rootOfValue(s.Value); name != "" {
+			escapePoolValue(out, name, s.Value.Pos(), report)
+		}
+	default:
+		walkPoolExpr(p, sum, n, out, report, nil)
+	}
+	return out
+}
+
+// stepPoolAssign handles acquisitions, rebinds, and stores. Evaluation
+// order: RHS uses/escapes, LHS base uses (x.f = v dereferences x), bare-LHS
+// rebinds kill tracking, then new acquisitions begin it.
+func stepPoolAssign(p *Pass, sum *poolSummary, as *ast.AssignStmt, st poolState, report poolReporter) {
+	acqs := poolAcquisitions(p.Info, as, sum)
+	sanct := make(map[token.Pos]bool)
+	for _, r := range as.Rhs {
+		walkPoolExpr(p, sum, r, st, report, sanct)
+	}
+	// A bare tracked value stored anywhere but a local rebind escapes:
+	// res.field = x, arr[i] = x.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Rhs {
+			if _, isIdent := ast.Unparen(as.Lhs[i]).(*ast.Ident); isIdent {
+				continue
+			}
+			if name := rootOfValue(as.Rhs[i]); name != "" {
+				escapePoolValue(st, name, as.Rhs[i].Pos(), report)
+			}
+		}
+	}
+	for _, l := range as.Lhs {
+		if _, isIdent := ast.Unparen(l).(*ast.Ident); isIdent {
+			continue
+		}
+		walkPoolExpr(p, sum, l, st, report, sanct)
+	}
+	for _, l := range as.Lhs {
+		if id, isID := ast.Unparen(l).(*ast.Ident); isID {
+			delete(st, id.Name)
+		}
+	}
+	for _, acq := range acqs {
+		pos := as.Pos()
+		for _, l := range as.Lhs {
+			if id, isID := l.(*ast.Ident); isID && id.Name == acq.key {
+				pos = id.Pos()
+			}
+		}
+		st[acq.key] = map[poolFact]bool{{
+			live:   true,
+			acqPos: pos,
+			errKey: acq.errKey,
+			src:    acq.src,
+			viaGet: acq.viaGet,
+		}: true}
+	}
+}
+
+// stepPoolDefer registers deferred releases (defer pool.Put(x), defer
+// x.Release(), a deferred closure that releases) and conservatively drops
+// tracked values a deferred call captures without releasing.
+func stepPoolDefer(p *Pass, sum *poolSummary, d *ast.DeferStmt, st poolState, report poolReporter) {
+	call := d.Call
+	released := make(map[string]bool)
+	if _, name, isPool := poolCallOf(p.Info, call); isPool {
+		if name == "Put" && len(call.Args) == 1 {
+			if root := rootOfValue(call.Args[0]); root != "" {
+				released[root] = true
+			}
+		}
+	} else if fl, isLit := call.Fun.(*ast.FuncLit); isLit {
+		collectClosureReleases(p, sum, fl.Body, released)
+		for key := range st {
+			if !released[key] && mentionsName(fl, key) {
+				delete(st, key)
+			}
+		}
+	} else {
+		callee := staticCallee(p.Info, call)
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if root := rootOfValue(sel.X); root != "" && isReleaseMethod(sum, callee, sel.Sel.Name) {
+				released[root] = true
+			}
+		}
+		for ai, arg := range call.Args {
+			if root := rootOfValue(arg); root != "" && callee != nil && sum.releases(callee, calleeParamIndex(callee, ai)) {
+				released[root] = true
+			}
+		}
+		for key := range st {
+			if !released[key] && mentionsName(call, key) {
+				delete(st, key)
+			}
+		}
+	}
+	for key := range released {
+		set, tracked := st[key]
+		if !tracked {
+			continue
+		}
+		next := make(map[poolFact]bool, len(set))
+		for f := range set {
+			f.deferRel = true
+			f.deferPos = d.Pos()
+			next[f] = true
+		}
+		st[key] = next
+	}
+}
+
+// collectClosureReleases gathers the tracked-looking roots a closure body
+// releases (pool.Put, releaser calls, Release/Close methods).
+func collectClosureReleases(p *Pass, sum *poolSummary, body *ast.BlockStmt, released map[string]bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if _, name, isPool := poolCallOf(p.Info, call); isPool {
+			if name == "Put" && len(call.Args) == 1 {
+				if root := rootOfValue(call.Args[0]); root != "" {
+					released[root] = true
+				}
+			}
+			return true
+		}
+		callee := staticCallee(p.Info, call)
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if root := rootOfValue(sel.X); root != "" && isReleaseMethod(sum, callee, sel.Sel.Name) {
+				released[root] = true
+			}
+		}
+		for ai, arg := range call.Args {
+			if root := rootOfValue(arg); root != "" && callee != nil && sum.releases(callee, calleeParamIndex(callee, ai)) {
+				released[root] = true
+			}
+		}
+		return true
+	})
+}
+
+// isReleaseMethod reports whether calling method name on a tracked value
+// releases it: the interprocedural summary says the receiver reaches a
+// pool.Put, or the method follows the Release/Close naming convention (the
+// only signal available for interface-typed values).
+func isReleaseMethod(sum *poolSummary, callee *types.Func, name string) bool {
+	if sum.releases(callee, -1) {
+		return true
+	}
+	return name == "Release" || name == "Close"
+}
+
+// walkPoolExpr is the generic transfer walk over one expression or simple
+// statement: release operations transition state, non-releasing transfers
+// escape, and (on replay) any mention of an all-paths-released value is a
+// use-after-release. sanctioned suppresses the use check on identifiers
+// that are themselves part of a release operation.
+func walkPoolExpr(p *Pass, sum *poolSummary, n ast.Node, st poolState, report poolReporter, sanctioned map[token.Pos]bool) {
+	if n == nil {
+		return
+	}
+	if sanctioned == nil {
+		sanctioned = make(map[token.Pos]bool)
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// The closure may run later: captured values escape.
+			dropMentionedKeys(x, st)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+					v = kv.Value
+				}
+				if name := rootOfValue(v); name != "" {
+					escapePoolValue(st, name, v.Pos(), report)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			stepPoolCall(p, sum, x, st, report, sanctioned)
+			return true
+		case *ast.Ident:
+			if sanctioned[x.Pos()] {
+				return true
+			}
+			if set, tracked := st[x.Name]; tracked && allReleasedSet(set) && report != nil {
+				report(x.Pos(), "%s is used after being returned to its pool", x.Name)
+			}
+		}
+		return true
+	})
+}
+
+// stepPoolCall applies one call's effect on the pool state: pool.Put and
+// releaser calls release, non-releasing callees take ownership of bare
+// tracked arguments, method calls on a tracked receiver borrow.
+func stepPoolCall(p *Pass, sum *poolSummary, call *ast.CallExpr, st poolState, report poolReporter, sanctioned map[token.Pos]bool) {
+	if _, name, isPool := poolCallOf(p.Info, call); isPool {
+		if name == "Put" && len(call.Args) == 1 {
+			if root := rootOfValue(call.Args[0]); root != "" {
+				if _, tracked := st[root]; tracked {
+					releasePoolKey(st, root, call.Pos(), report, "Put")
+					sanctionIdents(call.Args[0], sanctioned)
+				}
+			}
+		}
+		return
+	}
+	callee := staticCallee(p.Info, call)
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if root := rootOfValue(sel.X); root != "" {
+			if _, tracked := st[root]; tracked && isReleaseMethod(sum, callee, sel.Sel.Name) {
+				releasePoolKey(st, root, call.Pos(), report, sel.Sel.Name+"()")
+				sanctionIdents(sel.X, sanctioned)
+			}
+			// Otherwise a method call on the value borrows it; the use
+			// check on the receiver identifier still applies.
+		}
+	}
+	for ai, arg := range call.Args {
+		root := rootOfValue(arg)
+		if root == "" {
+			continue
+		}
+		if _, tracked := st[root]; !tracked {
+			continue
+		}
+		if callee != nil && sum.releases(callee, calleeParamIndex(callee, ai)) {
+			releasePoolKey(st, root, arg.Pos(), report, callee.Name())
+			sanctionIdents(arg, sanctioned)
+			continue
+		}
+		// A non-releasing callee receives the value itself: ownership
+		// escapes beyond this function's sight.
+		escapePoolValue(st, root, arg.Pos(), report)
+		sanctionIdents(arg, sanctioned)
+	}
+}
+
+// releasePoolKey transitions every reachable configuration of key to
+// released, reporting a double release when every path already had.
+func releasePoolKey(st poolState, key string, pos token.Pos, report poolReporter, op string) {
+	set := st[key]
+	if report != nil && allReleasedSet(set) {
+		report(pos, "%s is already released on every path reaching this %s (double release)", key, op)
+	}
+	next := make(map[poolFact]bool, len(set))
+	for f := range set {
+		f.live = false
+		f.relPos = pos
+		next[f] = true
+	}
+	st[key] = next
+}
+
+// escapePoolValue ends tracking of key because its value was handed to
+// something this function cannot follow; a released value escaping is still
+// a use-after-release.
+func escapePoolValue(st poolState, key string, pos token.Pos, report poolReporter) {
+	set, tracked := st[key]
+	if !tracked {
+		return
+	}
+	if allReleasedSet(set) && report != nil {
+		report(pos, "%s is used after being returned to its pool", key)
+	}
+	delete(st, key)
+}
+
+// sanctionIdents marks the identifiers of a release operand so the generic
+// use check does not flag the release itself.
+func sanctionIdents(e ast.Expr, sanctioned map[token.Pos]bool) {
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, isID := x.(*ast.Ident); isID {
+			sanctioned[id.Pos()] = true
+		}
+		return true
+	})
+}
+
+// dropMentionedKeys deletes every tracked key that appears anywhere in n.
+func dropMentionedKeys(n ast.Node, st poolState) {
+	for key := range st {
+		if mentionsName(n, key) {
+			delete(st, key)
+		}
+	}
+}
+
+// mentionsName reports whether any identifier in n is spelled name.
+func mentionsName(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, isID := x.(*ast.Ident); isID && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- nil-before-Put -------------------------------------------------------
+
+// checkNilBeforePut verifies that a struct handed back to a sync.Pool has
+// its pointer-bearing fields cleared first: a direct reference field must be
+// nil'ed, and a slice of references must be clear()'ed (capacity reuse is
+// the point of pooling, so truncation alone is fine for primitive slices
+// but reference elements must be zeroed). The check is syntactic and
+// per-function: clears through a single-level alias (`parts := x.parts;
+// parts[i] = nil`), element stores, clear() calls, and a full `*x = T{}`
+// reset all count. Findings carry a mechanical fix inserting the missing
+// clear statements before the Put.
+func checkNilBeforePut(p *Pass, fd *ast.FuncDecl) {
+	type putSite struct {
+		call    *ast.CallExpr
+		poolKey string
+		arg     string
+		typ     *types.Struct
+	}
+	var puts []putSite
+	nilAssigns := make(map[string]bool) // "x.f" = nil or clear(x.f)
+	elemClears := make(map[string]bool) // x.f[i] = nil
+	fullReset := make(map[string]bool)  // *x = T{...}
+	alias := make(map[string]string)    // local := x.f
+
+	recordClear := func(m map[string]bool, key string) {
+		m[key] = true
+		// Resolve one alias level: clearing `parts` clears `x.parts`.
+		if dot := strings.IndexByte(key, '.'); dot < 0 {
+			if target, isAlias := alias[key]; isAlias {
+				m[target] = true
+			}
+		} else {
+			root := key[:dot]
+			if target, isAlias := alias[root]; isAlias {
+				m[target+key[dot:]] = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
+				for i, l := range x.Lhs {
+					id, isID := l.(*ast.Ident)
+					if !isID {
+						continue
+					}
+					if key := exprKey(x.Rhs[i]); key != "" && strings.Contains(key, ".") {
+						alias[id.Name] = key
+					}
+				}
+				return true
+			}
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, l := range x.Lhs {
+				r := ast.Unparen(x.Rhs[i])
+				isNilRHS := false
+				if id, isID := r.(*ast.Ident); isID && id.Name == "nil" {
+					isNilRHS = true
+				}
+				switch lhs := ast.Unparen(l).(type) {
+				case *ast.IndexExpr:
+					if isNilRHS {
+						if key := exprKey(lhs.X); key != "" {
+							recordClear(elemClears, key)
+						}
+					}
+				case *ast.StarExpr:
+					if _, isLit := r.(*ast.CompositeLit); isLit {
+						if id, isID := ast.Unparen(lhs.X).(*ast.Ident); isID {
+							fullReset[id.Name] = true
+						}
+					}
+				default:
+					if isNilRHS {
+						if key := exprKey(l); key != "" {
+							recordClear(nilAssigns, key)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, isID := ast.Unparen(x.Fun).(*ast.Ident); isID && id.Name == "clear" && len(x.Args) == 1 {
+				if key := exprKey(x.Args[0]); key != "" {
+					recordClear(nilAssigns, key)
+				}
+				return true
+			}
+			_, name, isPool := poolCallOf(p.Info, x)
+			if !isPool || name != "Put" || len(x.Args) != 1 {
+				return true
+			}
+			root := rootOfValue(x.Args[0])
+			if root == "" {
+				return true
+			}
+			st := localStructType(p, x.Args[0])
+			if st == nil {
+				return true
+			}
+			poolKey := ""
+			if sel, isSel := x.Fun.(*ast.SelectorExpr); isSel {
+				poolKey = exprKey(sel.X)
+			}
+			puts = append(puts, putSite{call: x, poolKey: poolKey, arg: root, typ: st})
+		}
+		return true
+	})
+
+	for _, put := range puts {
+		if fullReset[put.arg] {
+			continue
+		}
+		var missing []string
+		var fixes []string
+		for i := 0; i < put.typ.NumFields(); i++ {
+			f := put.typ.Field(i)
+			key := put.arg + "." + f.Name()
+			cleared := nilAssigns[key] || elemClears[key]
+			switch clearKindOf(f.Type()) {
+			case clearNil:
+				if !cleared {
+					missing = append(missing, f.Name())
+					fixes = append(fixes, key+" = nil\n")
+				}
+			case clearElems:
+				if !cleared {
+					missing = append(missing, f.Name())
+					fixes = append(fixes, "clear("+key+")\n")
+				}
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		anchor := insertionStmt(fd.Body, put.call.Pos())
+		msg := "%s is returned to pool %s with pointer-bearing field(s) %s still set; the pool pins their data live — clear them before Put"
+		if _, isDefer := anchor.(*ast.DeferStmt); isDefer || anchor == nil {
+			// Clearing before a deferred Put would run too early; report
+			// without a mechanical fix.
+			p.Reportf(put.call.Pos(), msg, put.arg, put.poolKey, strings.Join(missing, ", "))
+			continue
+		}
+		p.ReportFixf(put.call.Pos(), SuggestedFix{
+			Message: fmt.Sprintf("clear %s before Put", strings.Join(missing, ", ")),
+			Edits:   []FixEdit{p.EditRange(anchor.Pos(), anchor.Pos(), strings.Join(fixes, ""))},
+		}, msg, put.arg, put.poolKey, strings.Join(missing, ", "))
+	}
+}
+
+type clearKind int
+
+const (
+	clearNone  clearKind = iota
+	clearNil             // direct reference field: f = nil
+	clearElems           // slice of references: clear(f) zeroes elements, keeps capacity
+)
+
+// clearKindOf classifies a pooled struct field by what Put-hygiene it
+// needs. Primitive fields and primitive-element slices/maps need nothing —
+// retaining their backing storage is the point of pooling.
+func clearKindOf(t types.Type) clearKind {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+		return clearNil
+	case *types.Map:
+		if refBearing(u.Key()) || refBearing(u.Elem()) {
+			return clearNil
+		}
+	case *types.Slice:
+		if refBearing(u.Elem()) {
+			return clearElems
+		}
+	}
+	return clearNone
+}
+
+// refBearing reports whether values of t keep heap objects reachable
+// (beyond their own storage): pointers, interfaces, slices, maps, chans,
+// funcs, strings, and aggregates containing them.
+func refBearing(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refBearing(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return refBearing(u.Elem())
+	}
+	return false
+}
+
+// localStructType resolves e to the struct a pointer argument points at,
+// provided the struct is named in the pass's own package (so field
+// semantics are this package's business).
+func localStructType(p *Pass, e ast.Expr) *types.Struct {
+	t := p.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	ptr, isPtr := t.Underlying().(*types.Pointer)
+	if !isPtr {
+		return nil
+	}
+	named, isNamed := types.Unalias(ptr.Elem()).(*types.Named)
+	if !isNamed || named.Obj().Pkg() != p.Pkg {
+		return nil
+	}
+	st, isStruct := named.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil
+	}
+	return st
+}
+
+// insertionStmt finds the deepest non-block statement containing pos — the
+// anchor a fix inserts new statements before.
+func insertionStmt(body *ast.BlockStmt, pos token.Pos) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, isStmt := n.(ast.Stmt)
+		if !isStmt || s.Pos() > pos || pos >= s.End() {
+			return n == body || !isStmt
+		}
+		if _, isBlock := s.(*ast.BlockStmt); !isBlock {
+			found = s
+		}
+		return true
+	})
+	return found
+}
+
+// ---- cap-clip on pooled returns ------------------------------------------
+
+// checkCapClip flags the shape where a function builds its result in the
+// caller's (pooled) scratch — `out := s[:0]` over a slice parameter plus
+// appends — and returns it without clipping capacity. The caller of such a
+// provider can then append to the result and silently clobber the retained
+// scratch. The fix rewrites the return to out[:len(out):len(out)], forcing
+// those appends to reallocate.
+func checkCapClip(p *Pass, fd *ast.FuncDecl) {
+	params := make(map[string]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, isSlice := derefType(p.TypeOf(field.Type)).Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			for _, n := range field.Names {
+				params[n.Name] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	aliases := make(map[string]string) // out -> parameter it aliases
+	appended := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, isID := l.(*ast.Ident)
+			if !isID {
+				continue
+			}
+			r := ast.Unparen(as.Rhs[i])
+			if as.Tok == token.DEFINE {
+				if se, isSlice := r.(*ast.SliceExpr); isSlice && !se.Slice3 && isZeroHigh(se) {
+					if base, baseID := ast.Unparen(se.X).(*ast.Ident); baseID && params[base.Name] {
+						aliases[id.Name] = base.Name
+					}
+				}
+				continue
+			}
+			if call, isCall := r.(*ast.CallExpr); isCall {
+				if fun, funID := ast.Unparen(call.Fun).(*ast.Ident); funID && fun.Name == "append" && len(call.Args) > 0 {
+					if first, firstID := ast.Unparen(call.Args[0]).(*ast.Ident); firstID && first.Name == id.Name {
+						appended[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, isID := ast.Unparen(res).(*ast.Ident)
+			if !isID {
+				continue
+			}
+			param, isAlias := aliases[id.Name]
+			if !isAlias || !appended[id.Name] {
+				continue
+			}
+			clip := fmt.Sprintf("%s[:len(%s):len(%s)]", id.Name, id.Name, id.Name)
+			p.ReportFixf(res.Pos(), SuggestedFix{
+				Message: "clip the returned slice's capacity",
+				Edits:   []FixEdit{p.EditRange(res.Pos(), res.End(), clip)},
+			}, "%s aliases pooled scratch %s and is returned with spare capacity; return %s so caller appends reallocate instead of clobbering the scratch", id.Name, param, clip)
+		}
+		return true
+	})
+}
+
+// isZeroHigh reports whether a slice expression truncates to length zero:
+// s[:0] or s[0:0].
+func isZeroHigh(se *ast.SliceExpr) bool {
+	lit, isLit := ast.Unparen(se.High).(*ast.BasicLit)
+	return isLit && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -78,7 +78,9 @@ type Engine interface {
 
 // Service wraps a PDR engine with an HTTP API.
 type Service struct {
-	mu sync.RWMutex
+	// mu is the outermost lock in the process: every engine and monitor
+	// lock nests inside it, never the reverse.
+	mu sync.RWMutex // pdr:lockrank service 10
 	// srv is the single-writer/many-reader engine; guarded by mu (enforced
 	// by pdrvet's locked analyzer): queries hold the read lock, ticks and
 	// loads the write lock.

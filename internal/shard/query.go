@@ -112,7 +112,7 @@ func releaseIntervalScratch(sc *intervalScratch) {
 // can land between the scatter touching shard 0 and shard N-1.
 func (e *Engine) rlockAll() {
 	for i := range e.smu {
-		e.smu[i].RLock() // lint:ignore deferunlock acquire-only helper; every caller pairs it with runlockAll
+		e.smu[i].RLock()
 	}
 }
 

@@ -65,10 +65,10 @@ type Engine struct {
 	met    *core.Metrics
 	smet   *metrics
 
-	smu []sync.RWMutex
+	smu []sync.RWMutex // pdr:lockrank shard 20
 
-	surfMu sync.RWMutex
-	surf   *pa.Surface // engine-global Chebyshev surface; nil when DisablePA
+	surfMu sync.RWMutex // pdr:lockrank surface 30
+	surf   *pa.Surface  // engine-global Chebyshev surface; nil when DisablePA
 
 	reg          registry
 	replicaCount []atomic.Int64 // replica registrations per shard

@@ -36,7 +36,7 @@ type registry struct {
 }
 
 type regBucket struct {
-	mu sync.Mutex
+	mu sync.Mutex // pdr:lockrank shard-registry 40
 	m  map[motion.ObjectID]owners
 }
 
@@ -122,11 +122,11 @@ func (e *Engine) unlockMaskWrite(mask uint64) {
 func (e *Engine) lockShardWrite(i int) {
 	if m := e.smet; m != nil {
 		sw := stopwatch.Start()
-		e.smu[i].Lock() // lint:ignore deferunlock acquire-only helper; callers release via unlockMaskWrite/unlockAllWrite
+		e.smu[i].Lock()
 		m.lockWait[i].Observe(sw.Elapsed().Seconds())
 		return
 	}
-	e.smu[i].Lock() // lint:ignore deferunlock acquire-only helper; callers release via unlockMaskWrite/unlockAllWrite
+	e.smu[i].Lock()
 }
 
 // noteRegistered maintains the per-shard replica counters for one insert.
